@@ -1,0 +1,124 @@
+// Hyperqueue microbenchmarks and design ablations:
+//  * push/pop throughput vs segment length (Section 5.1 tuning),
+//  * slice API vs element-wise push/pop (Section 5.2),
+//  * producer -> consumer task handoff.
+#include <benchmark/benchmark.h>
+
+#include "hq.hpp"
+
+namespace {
+
+// Section 5.1: segment-length sweep. One pushpop task in ring steady state.
+void BM_PushPop_SegmentLength(benchmark::State& state) {
+  const auto seglen = static_cast<std::size_t>(state.range(0));
+  hq::scheduler sched(1);
+  for (auto _ : state) {
+    state.PauseTiming();
+    long sum = 0;
+    state.ResumeTiming();
+    sched.run([&] {
+      hq::hyperqueue<int> q(seglen);
+      hq::spawn(
+          [&sum](hq::pushpopdep<int> qq) {
+            for (int i = 0; i < 20000; ++i) {
+              qq.push(i);
+              sum += qq.pop();
+            }
+          },
+          (hq::pushpopdep<int>)q);
+      hq::sync();
+    });
+    benchmark::DoNotOptimize(sum);
+  }
+  state.SetItemsProcessed(state.iterations() * 20000);
+}
+BENCHMARK(BM_PushPop_SegmentLength)->Arg(8)->Arg(64)->Arg(512)->Arg(4096);
+
+// Section 5.2: slices amortize the per-element privilege lookup.
+void BM_ElementWise(benchmark::State& state) {
+  hq::scheduler sched(1);
+  for (auto _ : state) {
+    long sum = 0;
+    sched.run([&] {
+      hq::hyperqueue<int> q(1024);
+      hq::spawn(
+          [](hq::pushdep<int> qq) {
+            for (int i = 0; i < 20000; ++i) qq.push(i);
+          },
+          (hq::pushdep<int>)q);
+      hq::spawn(
+          [&sum](hq::popdep<int> qq) {
+            while (!qq.empty()) sum += qq.pop();
+          },
+          (hq::popdep<int>)q);
+      hq::sync();
+    });
+    benchmark::DoNotOptimize(sum);
+  }
+  state.SetItemsProcessed(state.iterations() * 20000);
+}
+BENCHMARK(BM_ElementWise);
+
+void BM_Slices(benchmark::State& state) {
+  hq::scheduler sched(1);
+  for (auto _ : state) {
+    long sum = 0;
+    sched.run([&] {
+      hq::hyperqueue<int> q(1024);
+      hq::spawn(
+          [](hq::pushdep<int> qq) {
+            int v = 0;
+            while (v < 20000) {
+              auto ws = qq.get_write_slice(256);
+              for (std::size_t i = 0; i < ws.size(); ++i) ws.emplace(i, v++);
+              ws.commit();
+            }
+          },
+          (hq::pushdep<int>)q);
+      hq::spawn(
+          [&sum](hq::popdep<int> qq) {
+            for (;;) {
+              auto rs = qq.get_read_slice(256);
+              if (rs.empty()) break;
+              for (int v : rs) sum += v;
+              rs.release();
+            }
+          },
+          (hq::popdep<int>)q);
+      hq::sync();
+    });
+    benchmark::DoNotOptimize(sum);
+  }
+  state.SetItemsProcessed(state.iterations() * 20000);
+}
+BENCHMARK(BM_Slices);
+
+// Parallel producer tree: reduction (view merge) cost at varying leaf count.
+void BM_ParallelProducers(benchmark::State& state) {
+  const int leaves = static_cast<int>(state.range(0));
+  hq::scheduler sched(2);
+  for (auto _ : state) {
+    long sum = 0;
+    sched.run([&] {
+      hq::hyperqueue<int> q(256);
+      for (int l = 0; l < leaves; ++l) {
+        hq::spawn(
+            [l](hq::pushdep<int> qq) {
+              for (int i = 0; i < 1000; ++i) qq.push(l * 1000 + i);
+            },
+            (hq::pushdep<int>)q);
+      }
+      hq::spawn(
+          [&sum](hq::popdep<int> qq) {
+            while (!qq.empty()) sum += qq.pop();
+          },
+          (hq::popdep<int>)q);
+      hq::sync();
+    });
+    benchmark::DoNotOptimize(sum);
+  }
+  state.SetItemsProcessed(state.iterations() * leaves * 1000);
+}
+BENCHMARK(BM_ParallelProducers)->Arg(1)->Arg(8)->Arg(64);
+
+}  // namespace

@@ -1,0 +1,110 @@
+// Scheduler and dataflow-tracker microbenchmarks: spawn/sync overhead,
+// recursive task trees, versioned-object dependence chains.
+#include <benchmark/benchmark.h>
+
+#include "hq.hpp"
+
+namespace {
+
+void BM_SpawnSyncFlat(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  hq::scheduler sched(1);
+  for (auto _ : state) {
+    sched.run([&] {
+      for (int i = 0; i < n; ++i) hq::spawn([] {});
+      hq::sync();
+    });
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_SpawnSyncFlat)->Arg(1000)->Arg(10000);
+
+long fib_serial(long n) { return n < 2 ? n : fib_serial(n - 1) + fib_serial(n - 2); }
+
+void fib_task(long n, long* out) {
+  if (n < 10) {
+    *out = fib_serial(n);
+    return;
+  }
+  long a = 0, b = 0;
+  hq::spawn(fib_task, n - 1, &a);
+  hq::spawn(fib_task, n - 2, &b);
+  hq::sync();
+  *out = a + b;
+}
+
+void BM_FibTree(benchmark::State& state) {
+  hq::scheduler sched(static_cast<unsigned>(state.range(0)));
+  for (auto _ : state) {
+    long out = 0;
+    sched.run([&] { fib_task(24, &out); });
+    benchmark::DoNotOptimize(out);
+  }
+}
+BENCHMARK(BM_FibTree)->Arg(1)->Arg(2)->Arg(4);
+
+void BM_DataflowInoutChain(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  hq::scheduler sched(1);
+  for (auto _ : state) {
+    hq::versioned<long> acc(0);
+    sched.run([&] {
+      for (int i = 0; i < n; ++i) {
+        hq::spawn([](hq::inoutdep<long> v) { *v += 1; }, (hq::inoutdep<long>)acc);
+      }
+      hq::sync();
+    });
+    benchmark::DoNotOptimize(acc.get());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_DataflowInoutChain)->Arg(1000);
+
+void BM_DataflowRenamedProducers(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  hq::scheduler sched(2);
+  for (auto _ : state) {
+    hq::versioned<long> v(0);
+    sched.run([&] {
+      for (int i = 0; i < n; ++i) {
+        hq::spawn([i](hq::outdep<long> o) { *o = i; }, (hq::outdep<long>)v);
+      }
+      hq::sync();
+    });
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_DataflowRenamedProducers)->Arg(1000);
+
+// Early head reduction cost vs spawn-tree depth (Section 4.5: O(depth)).
+void deep_push(hq::pushdep<int> q, int depth) {
+  if (depth == 0) {
+    q.push(1);
+    return;
+  }
+  hq::spawn(deep_push, q, depth - 1);
+  hq::sync();
+  q.push(1);  // empty user view here: triggers the early reduction walk
+}
+
+void BM_EarlyReductionDepth(benchmark::State& state) {
+  const int depth = static_cast<int>(state.range(0));
+  hq::scheduler sched(1);
+  for (auto _ : state) {
+    long sum = 0;
+    sched.run([&] {
+      hq::hyperqueue<int> q(64);
+      hq::spawn(deep_push, (hq::pushdep<int>)q, depth);
+      hq::spawn(
+          [&sum](hq::popdep<int> qq) {
+            while (!qq.empty()) sum += qq.pop();
+          },
+          (hq::popdep<int>)q);
+      hq::sync();
+    });
+    benchmark::DoNotOptimize(sum);
+  }
+}
+BENCHMARK(BM_EarlyReductionDepth)->Arg(4)->Arg(16)->Arg(64);
+
+}  // namespace

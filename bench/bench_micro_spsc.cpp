@@ -1,0 +1,68 @@
+// Section 3.2 substrate ablation: single-producer single-consumer queue
+// designs — Lamport array ring (with cached indices), FastForward
+// slot-state ring, mutex+condvar bounded queue, and the hyperqueue segment
+// itself. Single-threaded ping-pong isolates the per-operation cost.
+#include <benchmark/benchmark.h>
+
+#include "conc/bounded_queue.hpp"
+#include "conc/spsc_ring.hpp"
+#include "core/segment.hpp"
+
+namespace {
+
+void BM_LamportRing(benchmark::State& state) {
+  hq::spsc_ring<int> q(1024);
+  int v = 0;
+  for (auto _ : state) {
+    q.try_push(v++);
+    benchmark::DoNotOptimize(q.try_pop());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_LamportRing);
+
+void BM_FastForwardRing(benchmark::State& state) {
+  hq::ff_ring<int> q(1024, -1);
+  int v = 0;
+  for (auto _ : state) {
+    q.try_push(v++ & 0xFFFF);
+    benchmark::DoNotOptimize(q.try_pop());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_FastForwardRing);
+
+void BM_MutexBoundedQueue(benchmark::State& state) {
+  hq::bounded_queue<int> q(1024);
+  int v = 0;
+  for (auto _ : state) {
+    q.push(v++);
+    benchmark::DoNotOptimize(q.try_pop());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_MutexBoundedQueue);
+
+void BM_HyperqueueSegment(benchmark::State& state) {
+  hq::detail::element_ops ops;
+  ops.size = sizeof(int);
+  ops.align = alignof(int);
+  ops.move_construct = [](void* dst, void* src) noexcept {
+    *static_cast<int*>(dst) = *static_cast<int*>(src);
+  };
+  ops.destroy = [](void*) noexcept {};
+  auto* seg = hq::detail::segment::create(1024, &ops);
+  int v = 0, out = 0;
+  for (auto _ : state) {
+    seg->try_push(&v);
+    ++v;
+    seg->pop_into(&out);
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetItemsProcessed(state.iterations());
+  seg->destroy_remaining();
+  hq::detail::segment::destroy(seg);
+}
+BENCHMARK(BM_HyperqueueSegment);
+
+}  // namespace

@@ -1,0 +1,48 @@
+// Table 1 reproduction: characterization of ferret's pipeline.
+// Prints iterations, per-stage serial time and time share, next to the
+// paper's reported shares. Absolute times differ (synthetic workload, other
+// machine); the *shape* — ranking-dominated, input ≈4.5% serial — is the
+// reproduced claim.
+//
+// Environment knobs: HQ_FERRET_IMAGES (default 300).
+#include <cstdlib>
+#include <string>
+
+#include "apps/ferret/ferret.hpp"
+#include "util/table.hpp"
+
+int main() {
+  hq::apps::ferret::config cfg;
+  cfg.num_images = 300;
+  if (const char* env = std::getenv("HQ_FERRET_IMAGES")) {
+    cfg.num_images = static_cast<std::size_t>(std::atol(env));
+  }
+
+  auto t = hq::apps::ferret::stage_times(cfg);
+  double total = 0;
+  for (double s : t) total += s;
+
+  const char* names[6] = {"Input",       "Segmentation", "Extraction",
+                          "Vectorizing", "Ranking",      "Output"};
+  // Paper Table 1 shares (%), for side-by-side comparison.
+  const double paper_pct[6] = {4.48, 3.57, 0.35, 16.20, 75.30, 0.10};
+  const std::uint64_t iters[6] = {1,
+                                  cfg.num_images,
+                                  cfg.num_images,
+                                  cfg.num_images,
+                                  cfg.num_images,
+                                  cfg.num_images};
+
+  hq::util::table table({"Stage", "Iterations", "Time (s)", "Time (%)",
+                         "Paper (%)"});
+  for (int s = 0; s < 6; ++s) {
+    table.add_row({names[s], hq::util::table::cell(iters[s]),
+                   hq::util::table::cell(t[static_cast<std::size_t>(s)], 4),
+                   hq::util::table::cell(
+                       100.0 * t[static_cast<std::size_t>(s)] / total, 2),
+                   hq::util::table::cell(paper_pct[s], 2)});
+  }
+  table.print("Table 1: characterization of ferret's pipeline (" +
+              std::to_string(cfg.num_images) + " images)");
+  return 0;
+}

@@ -1,0 +1,58 @@
+// Quickstart: the paper's Figure 2 — a two-stage pipeline with a recursive
+// parallel producer and an ordered consumer.
+//
+//   $ ./examples/quickstart [workers]
+#include <cstdio>
+#include <cstdlib>
+
+#include "hq.hpp"
+
+namespace {
+
+struct data {
+  int n;
+  long value;
+};
+
+data f(int n) { return data{n, static_cast<long>(n) * n}; }
+
+// Figure 2: recursively divided producer, Cilk best practice.
+void producer(hq::pushdep<data> queue, int start, int end) {
+  if (end - start <= 10) {
+    for (int n = start; n < end; ++n) queue.push(f(n));
+  } else {
+    hq::spawn(producer, queue, start, (start + end) / 2);
+    hq::spawn(producer, queue, (start + end) / 2, end);
+    hq::sync();
+  }
+}
+
+void consumer(hq::popdep<data> queue, long* sum, bool* ordered) {
+  int expect = 0;
+  while (!queue.empty()) {
+    data d = queue.pop();
+    *ordered = *ordered && (d.n == expect++);
+    *sum += d.value;
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const unsigned workers = argc > 1 ? static_cast<unsigned>(std::atoi(argv[1])) : 4;
+  constexpr int kTotal = 1000;
+
+  hq::scheduler sched(workers);
+  long sum = 0;
+  bool ordered = true;
+  sched.run([&] {
+    hq::hyperqueue<data> queue;
+    hq::spawn(producer, (hq::pushdep<data>)queue, 0, kTotal);
+    hq::spawn(consumer, (hq::popdep<data>)queue, &sum, &ordered);
+    hq::sync();
+  });
+
+  std::printf("workers=%u consumed %d values %s, sum of squares = %ld\n", workers,
+              kTotal, ordered ? "in serial order" : "OUT OF ORDER (bug!)", sum);
+  return ordered && sum == 332833500L ? 0 : 1;
+}

@@ -1,0 +1,86 @@
+// A three-stage text-processing pipeline: a reader task streams text lines
+// into a hyperqueue, parallel tokenizer tasks split them into words on a
+// second hyperqueue, and an ordered counter consumes the word stream.
+// Demonstrates chained hyperqueues and dispatch-per-element spawning.
+//
+//   $ ./examples/wordcount_pipeline [workers] [kilobytes]
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <string>
+
+#include "hq.hpp"
+#include "util/datagen.hpp"
+
+namespace {
+
+void reader(const std::vector<std::uint8_t>* text, hq::pushdep<std::string> lines) {
+  std::string cur;
+  for (std::uint8_t b : *text) {
+    if (b == '\n') {
+      lines.push(std::move(cur));
+      cur.clear();
+    } else {
+      cur.push_back(static_cast<char>(b));
+    }
+  }
+  if (!cur.empty()) lines.push(std::move(cur));
+}
+
+void tokenize_line(std::string line, hq::pushdep<std::string> words) {
+  std::size_t start = 0;
+  for (std::size_t i = 0; i <= line.size(); ++i) {
+    if (i == line.size() || line[i] == ' ' || line[i] == '.') {
+      if (i > start) words.push(line.substr(start, i - start));
+      start = i + 1;
+    }
+  }
+}
+
+void tokenizer(hq::popdep<std::string> lines, hq::pushdep<std::string> words) {
+  // One spawned task per line: tokens appear on `words` in line order even
+  // though lines tokenize in parallel.
+  while (!lines.empty()) {
+    hq::spawn(tokenize_line, lines.pop(), words);
+  }
+  hq::sync();
+}
+
+void counter(hq::popdep<std::string> words, std::map<std::string, long>* counts,
+             long* total) {
+  while (!words.empty()) {
+    ++(*counts)[words.pop()];
+    ++*total;
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const unsigned workers = argc > 1 ? static_cast<unsigned>(std::atoi(argv[1])) : 4;
+  const std::size_t kb = argc > 2 ? static_cast<std::size_t>(std::atol(argv[2])) : 256;
+
+  auto text = hq::util::gen_text(kb << 10, /*seed=*/2024);
+  hq::scheduler sched(workers);
+  std::map<std::string, long> counts;
+  long total = 0;
+  sched.run([&] {
+    hq::hyperqueue<std::string> lines(128);
+    hq::hyperqueue<std::string> words(512);
+    hq::spawn(reader, &text, (hq::pushdep<std::string>)lines);
+    hq::spawn(tokenizer, (hq::popdep<std::string>)lines,
+              (hq::pushdep<std::string>)words);
+    hq::spawn(counter, (hq::popdep<std::string>)words, &counts, &total);
+    hq::sync();
+  });
+
+  std::printf("counted %ld words, %zu distinct; top words:\n", total, counts.size());
+  std::multimap<long, std::string, std::greater<>> by_count;
+  for (const auto& [w, n] : counts) by_count.emplace(n, w);
+  int shown = 0;
+  for (const auto& [n, w] : by_count) {
+    std::printf("  %6ld  %s\n", n, w.c_str());
+    if (++shown == 5) break;
+  }
+  return total > 0 ? 0 : 1;
+}

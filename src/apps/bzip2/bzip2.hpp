@@ -1,0 +1,43 @@
+// bzip2-like block compression utility over the mbzip kernel (paper
+// Section 6.3): a 3-stage pipeline — serial read, parallel per-block
+// compression, serial in-order write.
+//
+// Variants: serial, pthreads, tbb, task dataflow ("objects", the structure
+// of prior work [7] the paper compares against), hyperqueue, and the
+// hyperqueue version with the loop-split idiom of Section 5.4 that bounds
+// queue growth under serial execution.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace hq::apps::bzip2 {
+
+struct config {
+  std::size_t input_bytes = 4u << 20;
+  std::size_t block_bytes = 128u << 10;
+  unsigned threads = 1;
+  std::uint64_t seed = 99;
+  std::size_t split_batch = 8;  // blocks per batch in the loop-split variant
+};
+
+struct result {
+  std::vector<std::uint8_t> output;  // mbzip stream (decompressible)
+  double seconds = 0;
+  std::size_t blocks = 0;
+  std::size_t peak_segments = 0;  // hyperqueue variants: memory footprint probe
+};
+
+result run_serial(const config& cfg, const std::vector<std::uint8_t>& input);
+result run_pthreads(const config& cfg, const std::vector<std::uint8_t>& input);
+result run_tbb(const config& cfg, const std::vector<std::uint8_t>& input);
+result run_objects(const config& cfg, const std::vector<std::uint8_t>& input);
+result run_hyperqueue(const config& cfg, const std::vector<std::uint8_t>& input);
+result run_hyperqueue_split(const config& cfg,
+                            const std::vector<std::uint8_t>& input);
+
+/// Serial per-stage seconds {read, compress, write}.
+std::vector<double> stage_times(const config& cfg,
+                                const std::vector<std::uint8_t>& input);
+
+}  // namespace hq::apps::bzip2

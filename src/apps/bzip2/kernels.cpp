@@ -1,0 +1,54 @@
+#include "apps/bzip2/bzip2.hpp"
+
+#include "util/mbzip.hpp"
+#include "util/stats.hpp"
+
+namespace hq::apps::bzip2 {
+
+namespace {
+
+void put_u32(std::vector<std::uint8_t>* out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) out->push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+}  // namespace
+
+std::vector<double> stage_times(const config& cfg,
+                                const std::vector<std::uint8_t>& input) {
+  util::stopwatch sw;
+  std::vector<double> t(3, 0.0);
+
+  sw.reset();
+  std::vector<std::pair<std::size_t, std::size_t>> blocks;
+  for (std::size_t off = 0; off < input.size(); off += cfg.block_bytes) {
+    blocks.emplace_back(off, std::min(cfg.block_bytes, input.size() - off));
+  }
+  // Copy-out models the read stage's buffer handling.
+  std::vector<std::vector<std::uint8_t>> raw;
+  raw.reserve(blocks.size());
+  for (auto [off, len] : blocks) {
+    raw.emplace_back(input.begin() + static_cast<std::ptrdiff_t>(off),
+                     input.begin() + static_cast<std::ptrdiff_t>(off + len));
+  }
+  t[0] = sw.seconds();
+
+  sw.reset();
+  std::vector<std::vector<std::uint8_t>> comp;
+  comp.reserve(raw.size());
+  for (const auto& b : raw) {
+    comp.push_back(util::mbzip_compress_block(b.data(), b.size()));
+  }
+  t[1] = sw.seconds();
+
+  sw.reset();
+  std::vector<std::uint8_t> out;
+  put_u32(&out, static_cast<std::uint32_t>(comp.size()));
+  for (const auto& c : comp) {
+    put_u32(&out, static_cast<std::uint32_t>(c.size()));
+    out.insert(out.end(), c.begin(), c.end());
+  }
+  t[2] = sw.seconds();
+  return t;
+}
+
+}  // namespace hq::apps::bzip2

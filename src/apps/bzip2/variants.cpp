@@ -1,0 +1,259 @@
+// The bzip2 pipeline in all programming models. Output streams are
+// byte-identical (mbzip whole-stream format), so equality against the
+// serial stream verifies in-order writes.
+#include <atomic>
+#include <memory>
+
+#include "apps/bzip2/bzip2.hpp"
+#include "hq.hpp"
+#include "pipeline/pthread_pipeline.hpp"
+#include "pipeline/tbb_pipeline.hpp"
+#include "util/mbzip.hpp"
+#include "util/stats.hpp"
+
+namespace hq::apps::bzip2 {
+
+namespace {
+
+void put_u32(std::vector<std::uint8_t>* out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) out->push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+struct block {
+  std::uint64_t seq = 0;
+  std::vector<std::uint8_t> data;  // raw, then compressed
+};
+
+std::vector<block> slice_blocks(const config& cfg,
+                                const std::vector<std::uint8_t>& input) {
+  std::vector<block> blocks;
+  std::uint64_t seq = 0;
+  for (std::size_t off = 0; off < input.size(); off += cfg.block_bytes) {
+    const std::size_t len = std::min(cfg.block_bytes, input.size() - off);
+    block b;
+    b.seq = seq++;
+    b.data.assign(input.begin() + static_cast<std::ptrdiff_t>(off),
+                  input.begin() + static_cast<std::ptrdiff_t>(off + len));
+    blocks.push_back(std::move(b));
+  }
+  return blocks;
+}
+
+void write_header(result* r, std::size_t nblocks) {
+  put_u32(&r->output, static_cast<std::uint32_t>(nblocks));
+}
+
+void write_block(result* r, const std::vector<std::uint8_t>& comp) {
+  put_u32(&r->output, static_cast<std::uint32_t>(comp.size()));
+  r->output.insert(r->output.end(), comp.begin(), comp.end());
+  ++r->blocks;
+}
+
+}  // namespace
+
+// ----------------------------------------------------------------- serial
+
+result run_serial(const config& cfg, const std::vector<std::uint8_t>& input) {
+  util::stopwatch sw;
+  result r;
+  auto blocks = slice_blocks(cfg, input);
+  write_header(&r, blocks.size());
+  for (auto& b : blocks) {
+    auto comp = util::mbzip_compress_block(b.data.data(), b.data.size());
+    write_block(&r, comp);
+  }
+  r.seconds = sw.seconds();
+  return r;
+}
+
+// --------------------------------------------------------------- pthreads
+
+result run_pthreads(const config& cfg, const std::vector<std::uint8_t>& input) {
+  util::stopwatch sw;
+  result r;
+  auto blocks = slice_blocks(cfg, input);
+  write_header(&r, blocks.size());
+
+  bounded_queue<block> q_comp(32);
+  pth::ordered_serial_stage<std::vector<std::uint8_t>> writer(
+      [&r](std::vector<std::uint8_t>&& comp) { write_block(&r, comp); });
+  pth::stage_pool<block> comp(q_comp, cfg.threads, [&](block&& b) {
+    writer.emit(b.seq, util::mbzip_compress_block(b.data.data(), b.data.size()));
+  });
+  writer.start();
+  comp.start();
+  for (auto& b : blocks) q_comp.push(std::move(b));
+  q_comp.close();
+  comp.join();
+  writer.finish_and_join();
+  r.seconds = sw.seconds();
+  return r;
+}
+
+// -------------------------------------------------------------------- tbb
+
+result run_tbb(const config& cfg, const std::vector<std::uint8_t>& input) {
+  util::stopwatch sw;
+  result r;
+  auto blocks = slice_blocks(cfg, input);
+  write_header(&r, blocks.size());
+  std::size_t next = 0;
+  tbbpipe::pipeline p;
+  p.add_filter(tbbpipe::filter_mode::serial_in_order, [&](void*) -> void* {
+    if (next >= blocks.size()) return nullptr;
+    return new block(std::move(blocks[next++]));
+  });
+  p.add_filter(tbbpipe::filter_mode::parallel, [](void* v) -> void* {
+    auto* b = static_cast<block*>(v);
+    b->data = util::mbzip_compress_block(b->data.data(), b->data.size());
+    return b;
+  });
+  p.add_filter(tbbpipe::filter_mode::serial_in_order, [&](void* v) -> void* {
+    std::unique_ptr<block> b(static_cast<block*>(v));
+    write_block(&r, b->data);
+    return nullptr;
+  });
+  p.run(4 * cfg.threads, cfg.threads);
+  r.seconds = sw.seconds();
+  return r;
+}
+
+// ---------------------------------------------------------------- objects
+
+result run_objects(const config& cfg, const std::vector<std::uint8_t>& input) {
+  // Task dataflow structure of prior work [7] / Figure 1: per-block
+  // versioned object, renamed by the (outdep) compressor, output serialized
+  // on an inoutdep "file descriptor" token.
+  util::stopwatch sw;
+  result r;
+  scheduler sched(cfg.threads);
+  sched.run([&] {
+    auto blocks = slice_blocks(cfg, input);
+    write_header(&r, blocks.size());
+    versioned<int> fd(0);
+    for (auto& b : blocks) {
+      versioned<std::vector<std::uint8_t>> buf;
+      spawn(
+          [raw = std::move(b.data)](outdep<std::vector<std::uint8_t>> out) {
+            *out = util::mbzip_compress_block(raw.data(), raw.size());
+          },
+          (outdep<std::vector<std::uint8_t>>)buf);
+      spawn(
+          [&r](indep<std::vector<std::uint8_t>> comp, inoutdep<int>) {
+            write_block(&r, *comp);
+          },
+          (indep<std::vector<std::uint8_t>>)buf, (inoutdep<int>)fd);
+    }
+    sync();
+  });
+  r.seconds = sw.seconds();
+  return r;
+}
+
+// ------------------------------------------------------------- hyperqueue
+
+namespace {
+
+void hq_reader(const config* cfg, const std::vector<std::uint8_t>* input,
+               pushdep<block> q) {
+  auto blocks = slice_blocks(*cfg, *input);
+  for (auto& b : blocks) q.push(std::move(b));
+}
+
+void hq_compress_stage(popdep<block> in, pushdep<block> out) {
+  // Section 6.3: "The second stage's task performs a spawn for every
+  // element popped from the input queue... passing the output hyperqueue to
+  // each of these spawned functions allows them to execute in parallel
+  // while retaining the order of the elements."
+  while (!in.empty()) {
+    block b = in.pop();
+    spawn(
+        [](block work, pushdep<block> o) {
+          work.data = util::mbzip_compress_block(work.data.data(), work.data.size());
+          o.push(std::move(work));
+        },
+        std::move(b), out);
+  }
+  sync();
+}
+
+void hq_writer(result* r, popdep<block> q) {
+  while (!q.empty()) {
+    block b = q.pop();
+    write_block(r, b.data);
+  }
+}
+
+}  // namespace
+
+result run_hyperqueue(const config& cfg, const std::vector<std::uint8_t>& input) {
+  util::stopwatch sw;
+  result r;
+  const std::size_t nblocks = (input.size() + cfg.block_bytes - 1) / cfg.block_bytes;
+  write_header(&r, nblocks);
+  scheduler sched(cfg.threads);
+  sched.run([&] {
+    hyperqueue<block> q_in(16);
+    hyperqueue<block> q_out(16);
+    spawn(hq_reader, &cfg, &input, (pushdep<block>)q_in);
+    spawn(hq_compress_stage, (popdep<block>)q_in, (pushdep<block>)q_out);
+    spawn(hq_writer, &r, (popdep<block>)q_out);
+    sync();
+    r.peak_segments = std::max(q_in.segments(), q_out.segments());
+  });
+  r.seconds = sw.seconds();
+  return r;
+}
+
+result run_hyperqueue_split(const config& cfg,
+                            const std::vector<std::uint8_t>& input) {
+  // Section 5.4 loop split & interchange: the driver pushes blocks in
+  // batches and spawns the consuming stages per batch, bounding queue
+  // growth (and improving locality) when executed serially.
+  util::stopwatch sw;
+  result r;
+  const std::size_t nblocks = (input.size() + cfg.block_bytes - 1) / cfg.block_bytes;
+  write_header(&r, nblocks);
+  scheduler sched(cfg.threads);
+  sched.run([&] {
+    hyperqueue<block> q_in(16);
+    hyperqueue<block> q_out(16);
+    auto blocks = slice_blocks(cfg, input);
+    std::size_t produced = 0;
+    while (produced < blocks.size()) {
+      const std::size_t batch = std::min(cfg.split_batch, blocks.size() - produced);
+      // The owner produces one batch (it holds push privileges), then spawns
+      // the consuming stages for that batch — Figure 5's structure. Each
+      // writer task observes exactly the compress tasks spawned before it.
+      for (std::size_t i = 0; i < batch; ++i) {
+        q_in.push(std::move(blocks[produced + i]));
+      }
+      produced += batch;
+      hq::spawn(
+          [batch](popdep<block> in, pushdep<block> out) {
+            for (std::size_t i = 0; i < batch; ++i) {
+              block b = in.pop();
+              spawn(
+                  [](block work, pushdep<block> o) {
+                    work.data = util::mbzip_compress_block(work.data.data(),
+                                                           work.data.size());
+                    o.push(std::move(work));
+                  },
+                  std::move(b), out);
+            }
+            sync();
+          },
+          (popdep<block>)q_in, (pushdep<block>)q_out);
+      hq::spawn(hq_writer, &r, (popdep<block>)q_out);
+      r.peak_segments = std::max(
+          r.peak_segments, std::max(q_in.segments(), q_out.segments()));
+    }
+    sync();
+    r.peak_segments =
+        std::max(r.peak_segments, std::max(q_in.segments(), q_out.segments()));
+  });
+  r.seconds = sw.seconds();
+  return r;
+}
+
+}  // namespace hq::apps::bzip2

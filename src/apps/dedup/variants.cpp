@@ -1,0 +1,330 @@
+// The five dedup implementations. The output stream is byte-identical
+// across all of them (first-occurrence-in-output-order carries the
+// payload), so equality against the serial stream is the correctness test.
+#include <map>
+#include <memory>
+#include <thread>
+
+#include "apps/dedup/dedup.hpp"
+#include "hq.hpp"
+#include "pipeline/pthread_pipeline.hpp"
+#include "pipeline/tbb_pipeline.hpp"
+#include "util/stats.hpp"
+
+namespace hq::apps::dedup {
+
+// ----------------------------------------------------------------- serial
+
+result run_serial(const config& cfg, const std::vector<std::uint8_t>& input) {
+  util::stopwatch sw;
+  result r;
+  dedup_table table;
+  auto coarse = k_fragment(cfg, input.data(), input.size());
+  for (std::size_t i = 0; i < coarse.size(); ++i) {
+    auto chunks = k_refine(cfg, input.data(), coarse[i].first, coarse[i].second, i);
+    for (auto& c : chunks) {
+      k_dedup(&table, &c);
+      if (c.owner) k_compress(&c);
+      k_output(&r.output, &c);
+      ++r.total_chunks;
+    }
+  }
+  r.unique_chunks = table.unique_chunks();
+  r.seconds = sw.seconds();
+  return r;
+}
+
+// --------------------------------------------------------------- pthreads
+
+namespace {
+
+/// Queue record for the pthreads version: either a fine chunk or the
+/// per-coarse-chunk count that lets the reorder stage detect completeness
+/// (PARSEC dedup uses the same two-level (L1, L2) sequence scheme).
+struct pth_rec {
+  bool is_count = false;
+  std::uint64_t coarse_seq = 0;
+  std::uint32_t count = 0;  // valid when is_count
+  chunk_rec chunk;          // valid when !is_count
+};
+
+struct coarse_task {
+  std::uint64_t seq;
+  std::size_t off;
+  std::size_t len;
+};
+
+}  // namespace
+
+result run_pthreads(const config& cfg, const std::vector<std::uint8_t>& input) {
+  util::stopwatch sw;
+  result r;
+  dedup_table table;
+
+  auto coarse = k_fragment(cfg, input.data(), input.size());
+  const std::uint64_t total_coarse = coarse.size();
+
+  bounded_queue<coarse_task> q_refine(32);
+  bounded_queue<pth_rec> q_dedup(256);
+  bounded_queue<chunk_rec> q_compress(256);
+  bounded_queue<pth_rec> q_out(256);
+
+  pth::stage_pool<coarse_task> refine(q_refine, cfg.threads, [&](coarse_task&& t) {
+    auto chunks = k_refine(cfg, input.data(), t.off, t.len, t.seq);
+    pth_rec count;
+    count.is_count = true;
+    count.coarse_seq = t.seq;
+    count.count = static_cast<std::uint32_t>(chunks.size());
+    for (auto& c : chunks) {
+      pth_rec rec;
+      rec.chunk = std::move(c);
+      q_dedup.push(std::move(rec));
+    }
+    q_out.push(std::move(count));
+  });
+
+  pth::stage_pool<pth_rec> dedup_stage(q_dedup, cfg.threads, [&](pth_rec&& rec) {
+    k_dedup(&table, &rec.chunk);
+    if (rec.chunk.owner) {
+      q_compress.push(std::move(rec.chunk));
+    } else {
+      q_out.push(std::move(rec));
+    }
+  });
+
+  pth::stage_pool<chunk_rec> compress(q_compress, cfg.threads, [&](chunk_rec&& c) {
+    k_compress(&c);
+    pth_rec rec;
+    rec.chunk = std::move(c);
+    q_out.push(std::move(rec));
+  });
+
+  // Output/reorder: single thread, two-level (coarse, fine) ordering with
+  // completeness detection via the count records.
+  std::thread output([&] {
+    std::map<std::pair<std::uint64_t, std::uint64_t>, chunk_rec> pending;
+    std::map<std::uint64_t, std::uint32_t> counts;
+    std::uint64_t next_c = 0, next_f = 0;
+    while (next_c < total_coarse) {
+      auto rec = q_out.pop();
+      if (!rec) break;  // closed early (should not happen)
+      if (rec->is_count) {
+        counts[rec->coarse_seq] = rec->count;
+      } else {
+        pending.emplace(std::make_pair(rec->chunk.coarse_seq, rec->chunk.fine_seq),
+                        std::move(rec->chunk));
+      }
+      for (;;) {
+        auto cit = counts.find(next_c);
+        if (cit != counts.end() && next_f == cit->second) {
+          counts.erase(cit);
+          ++next_c;
+          next_f = 0;
+          continue;
+        }
+        auto pit = pending.find({next_c, next_f});
+        if (pit == pending.end()) break;
+        k_output(&r.output, &pit->second);
+        ++r.total_chunks;
+        pending.erase(pit);
+        ++next_f;
+      }
+    }
+  });
+
+  refine.start();
+  dedup_stage.start();
+  compress.start();
+
+  // Fragment stage runs on the driver thread.
+  for (std::size_t i = 0; i < coarse.size(); ++i) {
+    q_refine.push(coarse_task{i, coarse[i].first, coarse[i].second});
+  }
+  q_refine.close();
+  refine.join();
+  q_dedup.close();
+  dedup_stage.join();
+  q_compress.close();
+  compress.join();
+  output.join();
+  q_out.close();
+
+  r.unique_chunks = table.unique_chunks();
+  r.seconds = sw.seconds();
+  return r;
+}
+
+// -------------------------------------------------------------------- tbb
+
+result run_tbb(const config& cfg, const std::vector<std::uint8_t>& input) {
+  // Nested-pipeline structure of Reed et al. (paper Figure 10a): the token
+  // is a coarse chunk; all its fine chunks are gathered into a list before
+  // the serial output stage may proceed — the wait-for-whole-list
+  // limitation the hyperqueue removes.
+  util::stopwatch sw;
+  result r;
+  dedup_table table;
+  auto coarse = k_fragment(cfg, input.data(), input.size());
+  std::size_t next = 0;
+
+  struct token_data {
+    std::uint64_t seq;
+    std::size_t off, len;
+    std::vector<chunk_rec> chunks;
+  };
+
+  tbbpipe::pipeline p;
+  p.add_filter(tbbpipe::filter_mode::serial_in_order, [&](void*) -> void* {
+    if (next >= coarse.size()) return nullptr;
+    auto* t = new token_data;
+    t->seq = next;
+    t->off = coarse[next].first;
+    t->len = coarse[next].second;
+    ++next;
+    return t;
+  });
+  p.add_filter(tbbpipe::filter_mode::parallel, [&](void* v) -> void* {
+    auto* t = static_cast<token_data*>(v);
+    t->chunks = k_refine(cfg, input.data(), t->off, t->len, t->seq);
+    return t;
+  });
+  p.add_filter(tbbpipe::filter_mode::parallel, [&](void* v) -> void* {
+    auto* t = static_cast<token_data*>(v);
+    for (auto& c : t->chunks) {
+      k_dedup(&table, &c);
+      if (c.owner) k_compress(&c);
+    }
+    return t;
+  });
+  p.add_filter(tbbpipe::filter_mode::serial_in_order, [&](void* v) -> void* {
+    std::unique_ptr<token_data> t(static_cast<token_data*>(v));
+    for (auto& c : t->chunks) {
+      k_output(&r.output, &c);
+      ++r.total_chunks;
+    }
+    return nullptr;
+  });
+  p.run(4 * cfg.threads, cfg.threads);
+
+  r.unique_chunks = table.unique_chunks();
+  r.seconds = sw.seconds();
+  return r;
+}
+
+// ---------------------------------------------------------------- objects
+
+result run_objects(const config& cfg, const std::vector<std::uint8_t>& input) {
+  // Task dataflow over per-coarse-chunk lists (the nested-pipeline shape of
+  // Figure 10a): dataflow cannot express the variable-rate streaming, so
+  // each coarse chunk's list is produced wholesale and output waits for the
+  // entire list.
+  util::stopwatch sw;
+  result r;
+  dedup_table table;
+  scheduler sched(cfg.threads);
+  sched.run([&] {
+    auto coarse = k_fragment(cfg, input.data(), input.size());
+    versioned<std::uint64_t> out_token(0);  // serializes output in spawn order
+    for (std::size_t i = 0; i < coarse.size(); ++i) {
+      versioned<std::vector<chunk_rec>> list;
+      spawn(
+          [&cfg, &input, i, off = coarse[i].first,
+           len = coarse[i].second](outdep<std::vector<chunk_rec>> l) {
+            *l = k_refine(cfg, input.data(), off, len, i);
+          },
+          (outdep<std::vector<chunk_rec>>)list);
+      spawn(
+          [&table](inoutdep<std::vector<chunk_rec>> l) {
+            for (auto& c : *l) {
+              k_dedup(&table, &c);
+              if (c.owner) k_compress(&c);
+            }
+          },
+          (inoutdep<std::vector<chunk_rec>>)list);
+      spawn(
+          [&r](inoutdep<std::vector<chunk_rec>> l, inoutdep<std::uint64_t>) {
+            for (auto& c : *l) {
+              k_output(&r.output, &c);
+              ++r.total_chunks;
+            }
+          },
+          (inoutdep<std::vector<chunk_rec>>)list,
+          (inoutdep<std::uint64_t>)out_token);
+    }
+    sync();
+  });
+  r.unique_chunks = table.unique_chunks();
+  r.seconds = sw.seconds();
+  return r;
+}
+
+// ------------------------------------------------------------- hyperqueue
+
+namespace {
+
+void hq_refine(const config* cfg, const std::uint8_t* base, std::size_t off,
+               std::size_t len, std::uint64_t seq, pushdep<chunk_rec> out) {
+  auto chunks = k_refine(*cfg, base, off, len, seq);
+  for (auto& c : chunks) out.push(std::move(c));
+}
+
+void hq_dedup_compress(dedup_table* table, popdep<chunk_rec> in,
+                       pushdep<chunk_rec> out) {
+  // Merged Deduplicate+Compress task per nested pipeline (the paper's task
+  // coarsening); streams records onto the shared write queue as they are
+  // ready instead of gathering a list.
+  while (!in.empty()) {
+    chunk_rec c = in.pop();
+    k_dedup(table, &c);
+    if (c.owner) k_compress(&c);
+    out.push(std::move(c));
+  }
+}
+
+void hq_fragment(const config* cfg, const std::vector<std::uint8_t>* input,
+                 dedup_table* table, pushdep<chunk_rec> write_queue) {
+  // Figure 10(c): one nested pipeline (local queue + two tasks) per coarse
+  // chunk, all pushing to the shared write queue in program order. The
+  // local queues are owned by this task; they are destroyed after the sync
+  // (the paper's sketch leaks them — see DESIGN.md).
+  auto coarse = k_fragment(*cfg, input->data(), input->size());
+  std::vector<std::unique_ptr<hyperqueue<chunk_rec>>> locals;
+  locals.reserve(coarse.size());
+  for (std::size_t i = 0; i < coarse.size(); ++i) {
+    locals.push_back(std::make_unique<hyperqueue<chunk_rec>>(64));
+    hyperqueue<chunk_rec>& q = *locals.back();
+    spawn(hq_refine, cfg, input->data(), coarse[i].first, coarse[i].second,
+          static_cast<std::uint64_t>(i), (pushdep<chunk_rec>)q);
+    spawn(hq_dedup_compress, table, (popdep<chunk_rec>)q, write_queue);
+  }
+  sync();
+  locals.clear();
+}
+
+void hq_output(result* r, popdep<chunk_rec> q) {
+  while (!q.empty()) {
+    chunk_rec c = q.pop();
+    k_output(&r->output, &c);
+    ++r->total_chunks;
+  }
+}
+
+}  // namespace
+
+result run_hyperqueue(const config& cfg, const std::vector<std::uint8_t>& input) {
+  util::stopwatch sw;
+  result r;
+  dedup_table table;
+  scheduler sched(cfg.threads);
+  sched.run([&] {
+    hyperqueue<chunk_rec> write_queue(256);
+    spawn(hq_fragment, &cfg, &input, &table, (pushdep<chunk_rec>)write_queue);
+    spawn(hq_output, &r, (popdep<chunk_rec>)write_queue);
+    sync();
+  });
+  r.unique_chunks = table.unique_chunks();
+  r.seconds = sw.seconds();
+  return r;
+}
+
+}  // namespace hq::apps::dedup

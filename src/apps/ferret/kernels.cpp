@@ -1,0 +1,204 @@
+#include <algorithm>
+#include <cmath>
+
+#include "apps/ferret/ferret.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+
+namespace hq::apps::ferret {
+
+using util::xoshiro256;
+
+feature_db build_db(const config& cfg) {
+  feature_db db;
+  db.entries = cfg.db_entries;
+  db.dims = cfg.dims;
+  db.data.resize(db.entries * db.dims);
+  xoshiro256 rng(cfg.seed ^ 0xdbdbdbdbull);
+  for (auto& v : db.data) v = static_cast<float>(rng.uniform());
+  return db;
+}
+
+void k_load(const config& cfg, item* it) {
+  it->pixels = util::gen_image(cfg.image_wh, cfg.image_wh, it->seed);
+}
+
+void k_segment(const config& cfg, item* it) {
+  // k-means over intensities, K=4, fixed iteration count.
+  constexpr int kK = 4;
+  constexpr int kIters = 8;
+  const std::size_t n = it->pixels.size();
+  float centers[kK];
+  for (int k = 0; k < kK; ++k) {
+    centers[k] = static_cast<float>(k + 1) / (kK + 1);
+  }
+  it->labels.assign(n, 0);
+  for (int iter = 0; iter < kIters; ++iter) {
+    double sums[kK] = {};
+    std::size_t counts[kK] = {};
+    for (std::size_t i = 0; i < n; ++i) {
+      const float v = it->pixels[i];
+      int best = 0;
+      float best_d = std::abs(v - centers[0]);
+      for (int k = 1; k < kK; ++k) {
+        const float d = std::abs(v - centers[k]);
+        if (d < best_d) {
+          best_d = d;
+          best = k;
+        }
+      }
+      it->labels[i] = static_cast<std::uint8_t>(best);
+      sums[best] += v;
+      counts[best]++;
+    }
+    for (int k = 0; k < kK; ++k) {
+      if (counts[k] != 0) {
+        centers[k] = static_cast<float>(sums[k] / static_cast<double>(counts[k]));
+      }
+    }
+  }
+  (void)cfg;
+}
+
+void k_extract(const config& cfg, item* it) {
+  // Per-segment moments: size, mean, variance, centroid x/y.
+  constexpr int kK = 4;
+  const std::size_t w = cfg.image_wh;
+  double sum[kK] = {}, sum2[kK] = {}, cx[kK] = {}, cy[kK] = {};
+  std::size_t cnt[kK] = {};
+  for (std::size_t i = 0; i < it->pixels.size(); ++i) {
+    const int k = it->labels[i];
+    const float v = it->pixels[i];
+    sum[k] += v;
+    sum2[k] += static_cast<double>(v) * v;
+    cx[k] += static_cast<double>(i % w);
+    cy[k] += static_cast<double>(i / w);
+    cnt[k]++;
+  }
+  it->features.clear();
+  it->features.reserve(kK * 5);
+  for (int k = 0; k < kK; ++k) {
+    const double n = cnt[k] != 0 ? static_cast<double>(cnt[k]) : 1.0;
+    const double mean = sum[k] / n;
+    it->features.push_back(static_cast<float>(n / static_cast<double>(it->pixels.size())));
+    it->features.push_back(static_cast<float>(mean));
+    it->features.push_back(static_cast<float>(sum2[k] / n - mean * mean));
+    it->features.push_back(static_cast<float>(cx[k] / n / static_cast<double>(w)));
+    it->features.push_back(static_cast<float>(cy[k] / n / static_cast<double>(w)));
+  }
+}
+
+void k_vector(const config& cfg, item* it) {
+  // Soft-assignment histogram of pixels into `dims` bins, modulated by the
+  // segment features: the O(pixels * dims) cost profile of ferret's
+  // vectorization stage.
+  const std::size_t d = cfg.dims;
+  it->qvector.assign(d, 0.0f);
+  const float fbias = it->features.empty() ? 0.0f : it->features[1];
+  for (std::size_t i = 0; i < it->pixels.size(); ++i) {
+    const float v = it->pixels[i] + 0.05f * fbias;
+    const float pos = v * static_cast<float>(d - 1);
+    // Triangular kernel over all bins (deliberately dense).
+    for (std::size_t b = 0; b < d; ++b) {
+      const float dist = std::abs(pos - static_cast<float>(b));
+      if (dist < 2.0f) it->qvector[b] += (2.0f - dist) * 0.5f;
+    }
+  }
+  // L1 normalize.
+  float total = 0;
+  for (float v : it->qvector) total += v;
+  if (total > 0) {
+    for (auto& v : it->qvector) v /= total;
+  }
+}
+
+void k_rank(const config& cfg, const feature_db& db, item* it) {
+  // Exhaustive scan: L2 distance against every database entry, keep top-k.
+  const std::size_t d = db.dims;
+  it->topk.clear();
+  it->topk.reserve(cfg.topk + 1);
+  for (std::size_t e = 0; e < db.entries; ++e) {
+    const float* row = db.data.data() + e * d;
+    float dist = 0;
+    for (std::size_t j = 0; j < d; ++j) {
+      const float x = it->qvector[j] - row[j];
+      dist += x * x;
+    }
+    if (it->topk.size() < cfg.topk || dist < it->topk.back().first) {
+      const auto entry = std::make_pair(dist, static_cast<std::uint32_t>(e));
+      it->topk.insert(std::lower_bound(it->topk.begin(), it->topk.end(), entry),
+                      entry);
+      if (it->topk.size() > cfg.topk) it->topk.pop_back();
+    }
+  }
+}
+
+void k_output(std::uint64_t* checksum, const item& it) {
+  // FNV-1a fold over the ranked ids; order-sensitive, so any misordering of
+  // the serial output stage changes the checksum.
+  std::uint64_t h = *checksum ? *checksum : 0xcbf29ce484222325ull;
+  auto mix = [&h](std::uint64_t v) {
+    h ^= v;
+    h *= 0x100000001b3ull;
+  };
+  mix(it.seq);
+  for (const auto& [dist, id] : it.topk) {
+    mix(id);
+    mix(static_cast<std::uint64_t>(dist * 1e4f));
+  }
+  *checksum = h;
+}
+
+namespace {
+
+void collect(const util::dir_tree::dir_node& n, const std::string& prefix,
+             std::vector<std::string>* out) {
+  for (const auto& f : n.files) out->push_back(prefix + "/" + f);
+  for (const auto& d : n.subdirs) collect(d, prefix + "/" + d.name, out);
+}
+
+}  // namespace
+
+std::vector<std::string> traversal_order(const config& cfg) {
+  util::dir_tree tree = util::gen_dir_tree(cfg.num_images, cfg.seed);
+  std::vector<std::string> files;
+  files.reserve(cfg.num_images);
+  collect(tree.root, tree.root.name, &files);
+  return files;
+}
+
+std::vector<double> stage_times(const config& cfg) {
+  feature_db db = build_db(cfg);
+  auto files = traversal_order(cfg);
+  std::vector<double> t(6, 0.0);
+  util::stopwatch sw;
+  // Input: tree generation + traversal + load.
+  std::vector<item> items(files.size());
+  sw.reset();
+  for (std::size_t i = 0; i < files.size(); ++i) {
+    items[i].seq = i;
+    items[i].path = files[i];
+    items[i].seed = cfg.seed ^ (i * 0x9e3779b97f4a7c15ull);
+    k_load(cfg, &items[i]);
+  }
+  t[0] = sw.seconds();
+  sw.reset();
+  for (auto& it : items) k_segment(cfg, &it);
+  t[1] = sw.seconds();
+  sw.reset();
+  for (auto& it : items) k_extract(cfg, &it);
+  t[2] = sw.seconds();
+  sw.reset();
+  for (auto& it : items) k_vector(cfg, &it);
+  t[3] = sw.seconds();
+  sw.reset();
+  for (auto& it : items) k_rank(cfg, db, &it);
+  t[4] = sw.seconds();
+  sw.reset();
+  std::uint64_t checksum = 0;
+  for (const auto& it : items) k_output(&checksum, it);
+  t[5] = sw.seconds();
+  return t;
+}
+
+}  // namespace hq::apps::ferret

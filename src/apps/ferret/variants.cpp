@@ -1,0 +1,236 @@
+// The five ferret implementations. All must produce the serial checksum:
+// the output stage is order-sensitive, so this verifies in-order delivery.
+#include <atomic>
+#include <memory>
+
+#include "apps/ferret/ferret.hpp"
+#include "hq.hpp"
+#include "pipeline/pthread_pipeline.hpp"
+#include "pipeline/tbb_pipeline.hpp"
+#include "util/stats.hpp"
+
+namespace hq::apps::ferret {
+
+namespace {
+
+item make_item(const config& cfg, std::uint64_t seq, std::string path) {
+  item it;
+  it.seq = seq;
+  it.path = std::move(path);
+  it.seed = cfg.seed ^ (seq * 0x9e3779b97f4a7c15ull);
+  return it;
+}
+
+void process_middle(const config& cfg, const feature_db& db, item* it) {
+  k_segment(cfg, it);
+  k_extract(cfg, it);
+  k_vector(cfg, it);
+  k_rank(cfg, db, it);
+}
+
+}  // namespace
+
+// ----------------------------------------------------------------- serial
+
+result run_serial(const config& cfg) {
+  feature_db db = build_db(cfg);
+  util::stopwatch sw;
+  auto files = traversal_order(cfg);
+  std::uint64_t checksum = 0;
+  for (std::size_t i = 0; i < files.size(); ++i) {
+    item it = make_item(cfg, i, files[i]);
+    k_load(cfg, &it);
+    process_middle(cfg, db, &it);
+    k_output(&checksum, it);
+  }
+  return {checksum, sw.seconds()};
+}
+
+// --------------------------------------------------------------- pthreads
+
+result run_pthreads(const config& cfg) {
+  feature_db db = build_db(cfg);
+  util::stopwatch sw;
+
+  // PARSEC-style: per-stage thread pools joined by bounded queues, with the
+  // per-stage thread counts as explicit tuning knobs (we give every parallel
+  // stage `threads` threads — the oversubscription the paper describes).
+  bounded_queue<item> q_seg(64), q_ext(64), q_vec(64), q_rank(64);
+  std::uint64_t checksum = 0;
+  pth::ordered_serial_stage<item> output(
+      [&checksum](item&& it) { k_output(&checksum, it); });
+
+  pth::stage_pool<item> seg(q_seg, cfg.threads, [&](item&& it) {
+    k_segment(cfg, &it);
+    q_ext.push(std::move(it));
+  });
+  pth::stage_pool<item> ext(q_ext, cfg.threads, [&](item&& it) {
+    k_extract(cfg, &it);
+    q_vec.push(std::move(it));
+  });
+  pth::stage_pool<item> vec(q_vec, cfg.threads, [&](item&& it) {
+    k_vector(cfg, &it);
+    q_rank.push(std::move(it));
+  });
+  pth::stage_pool<item> rank(q_rank, cfg.threads, [&](item&& it) {
+    k_rank(cfg, db, &it);
+    output.emit(it.seq, std::move(it));
+  });
+
+  output.start();
+  seg.start();
+  ext.start();
+  vec.start();
+  rank.start();
+
+  // Input stage: recursive traversal pushing files as discovered — the
+  // natural pthreads structure the paper highlights.
+  auto files = traversal_order(cfg);
+  for (std::size_t i = 0; i < files.size(); ++i) {
+    item it = make_item(cfg, i, files[i]);
+    k_load(cfg, &it);
+    q_seg.push(std::move(it));
+  }
+  q_seg.close();
+  seg.join();
+  q_ext.close();
+  ext.join();
+  q_vec.close();
+  vec.join();
+  q_rank.close();
+  rank.join();
+  output.finish_and_join();
+  return {checksum, sw.seconds()};
+}
+
+// -------------------------------------------------------------------- tbb
+
+result run_tbb(const config& cfg) {
+  feature_db db = build_db(cfg);
+  util::stopwatch sw;
+
+  // TBB requires the input stage restructured into a repeatedly-callable
+  // function with explicit traversal state (paper Section 6.1: "tedious and
+  // error-prone"). Here the state is the pre-flattened list index.
+  auto files = traversal_order(cfg);
+  std::size_t next = 0;
+  std::uint64_t checksum = 0;
+
+  tbbpipe::pipeline p;
+  p.add_filter(tbbpipe::filter_mode::serial_in_order, [&](void*) -> void* {
+    if (next >= files.size()) return nullptr;
+    auto* it = new item(make_item(cfg, next, files[next]));
+    ++next;
+    k_load(cfg, it);
+    return it;
+  });
+  auto parallel_stage = [&p](auto fn) {
+    p.add_filter(tbbpipe::filter_mode::parallel, [fn](void* v) -> void* {
+      auto* it = static_cast<item*>(v);
+      fn(it);
+      return it;
+    });
+  };
+  parallel_stage([&cfg](item* it) { k_segment(cfg, it); });
+  parallel_stage([&cfg](item* it) { k_extract(cfg, it); });
+  parallel_stage([&cfg](item* it) { k_vector(cfg, it); });
+  parallel_stage([&cfg, &db](item* it) { k_rank(cfg, db, it); });
+  p.add_filter(tbbpipe::filter_mode::serial_in_order, [&](void* v) -> void* {
+    std::unique_ptr<item> it(static_cast<item*>(v));
+    k_output(&checksum, *it);
+    return nullptr;
+  });
+  p.run(/*max_tokens=*/4 * cfg.threads, cfg.threads);
+  return {checksum, sw.seconds()};
+}
+
+// ---------------------------------------------------------------- objects
+
+result run_objects(const config& cfg) {
+  // Baseline task dataflow (Figure 1 style). As in the paper's evaluation,
+  // the input stage is NOT restructured: the driver loads images serially
+  // in the spawn loop, so input never overlaps the parallel stages — the
+  // scalability ceiling visible in Figure 8.
+  feature_db db = build_db(cfg);
+  util::stopwatch sw;
+  std::uint64_t checksum = 0;
+  scheduler sched(cfg.threads);
+  sched.run([&] {
+    auto files = traversal_order(cfg);
+    versioned<std::uint64_t> out_token(0);  // serializes the output stage
+    for (std::size_t i = 0; i < files.size(); ++i) {
+      versioned<item> v(make_item(cfg, i, files[i]));
+      k_load(cfg, &v.get());  // serial, not overlapped
+      spawn(
+          [&cfg, &db](inoutdep<item> it) { process_middle(cfg, db, &*it); },
+          (inoutdep<item>)v);
+      spawn(
+          [&checksum](indep<item> it, inoutdep<std::uint64_t>) {
+            k_output(&checksum, *it);
+          },
+          (indep<item>)v, (inoutdep<std::uint64_t>)out_token);
+    }
+    sync();
+  });
+  return {checksum, sw.seconds()};
+}
+
+// ------------------------------------------------------------- hyperqueue
+
+namespace {
+
+void hq_input(const config* cfg, pushdep<item> q) {
+  // Directory traversal pushing images as discovered, unrestructured —
+  // the programmability point of Section 6.1.
+  auto files = traversal_order(*cfg);
+  for (std::size_t i = 0; i < files.size(); ++i) {
+    item it = make_item(*cfg, i, files[i]);
+    k_load(*cfg, &it);
+    q.push(std::move(it));
+  }
+}
+
+void hq_dispatch(const config* cfg, const feature_db* db, popdep<item> in,
+                 pushdep<item> out) {
+  // Pop each image and spawn its (parallel) middle stages; results appear
+  // on `out` in pop order because hyperqueue pushes are ordered by spawn.
+  while (!in.empty()) {
+    item it = in.pop();
+    spawn(
+        [cfg, db](item work, pushdep<item> o) {
+          process_middle(*cfg, *db, &work);
+          o.push(std::move(work));
+        },
+        std::move(it), out);
+  }
+  sync();
+}
+
+void hq_output(std::uint64_t* checksum, popdep<item> q) {
+  // One large task iterating the queue (avoids many tiny output tasks —
+  // exactly the design described for ferret's output hyperqueue).
+  while (!q.empty()) {
+    item it = q.pop();
+    k_output(checksum, it);
+  }
+}
+
+}  // namespace
+
+result run_hyperqueue(const config& cfg) {
+  feature_db db = build_db(cfg);
+  util::stopwatch sw;
+  std::uint64_t checksum = 0;
+  scheduler sched(cfg.threads);
+  sched.run([&] {
+    hyperqueue<item> q_in(64);
+    hyperqueue<item> q_out(64);
+    spawn(hq_input, &cfg, (pushdep<item>)q_in);
+    spawn(hq_dispatch, &cfg, &db, (popdep<item>)q_in, (pushdep<item>)q_out);
+    spawn(hq_output, &checksum, (popdep<item>)q_out);
+    sync();
+  });
+  return {checksum, sw.seconds()};
+}
+
+}  // namespace hq::apps::ferret

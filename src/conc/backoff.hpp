@@ -1,0 +1,55 @@
+// Exponential backoff for spin-wait loops.
+//
+// Waiting code in the runtime (sync, blocking empty(), steal loops) never
+// spins bare: it first pauses the pipeline a growing number of times and then
+// starts yielding the OS thread so that oversubscribed configurations (more
+// workers than cores, the common case on this host) make progress.
+#pragma once
+
+#include <cstdint>
+#include <thread>
+
+#if defined(__x86_64__) || defined(__i386__)
+#include <immintrin.h>
+#endif
+
+namespace hq {
+
+/// Issue a single CPU pause/relax hint.
+inline void cpu_relax() noexcept {
+#if defined(__x86_64__) || defined(__i386__)
+  _mm_pause();
+#elif defined(__aarch64__)
+  asm volatile("yield" ::: "memory");
+#else
+  // Fallback: compiler barrier only.
+  asm volatile("" ::: "memory");
+#endif
+}
+
+/// Exponential backoff: spins with pause hints up to a threshold, then yields
+/// the thread. Reset when the awaited condition makes progress.
+class backoff {
+ public:
+  /// Wait one step, escalating from pause loops to sched_yield.
+  void pause() noexcept {
+    if (count_ <= kSpinLimit) {
+      for (std::uint32_t i = 0; i < (1u << count_); ++i) cpu_relax();
+      ++count_;
+    } else {
+      std::this_thread::yield();
+    }
+  }
+
+  /// True once the backoff has escalated past pure spinning; callers use it
+  /// to switch to helping or blocking strategies.
+  [[nodiscard]] bool is_yielding() const noexcept { return count_ > kSpinLimit; }
+
+  void reset() noexcept { count_ = 0; }
+
+ private:
+  static constexpr std::uint32_t kSpinLimit = 6;  // up to 64 pauses per step
+  std::uint32_t count_ = 0;
+};
+
+}  // namespace hq

@@ -1,0 +1,87 @@
+// Blocking bounded MPMC queue (mutex + condition variables).
+//
+// This is the inter-stage queue of the POSIX-threads pipeline baseline; the
+// PARSEC pthreads versions of ferret/dedup use exactly this structure, so the
+// baseline faithfully reproduces their synchronization cost profile.
+// A closed() state implements end-of-stream propagation between stages.
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <optional>
+
+namespace hq {
+
+/// Bounded FIFO with blocking push/pop and end-of-stream close semantics.
+template <typename T>
+class bounded_queue {
+ public:
+  explicit bounded_queue(std::size_t capacity) : capacity_(capacity ? capacity : 1) {}
+
+  /// Blocks while full. Returns false iff the queue was closed (the value is
+  /// dropped in that case).
+  bool push(T value) {
+    std::unique_lock<std::mutex> lk(mu_);
+    not_full_.wait(lk, [&] { return items_.size() < capacity_ || closed_; });
+    if (closed_) return false;
+    items_.push_back(std::move(value));
+    lk.unlock();
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// Blocks while empty. Returns nullopt when the queue is closed *and*
+  /// drained — the end-of-stream signal for consumer threads.
+  std::optional<T> pop() {
+    std::unique_lock<std::mutex> lk(mu_);
+    not_empty_.wait(lk, [&] { return !items_.empty() || closed_; });
+    if (items_.empty()) return std::nullopt;
+    T out = std::move(items_.front());
+    items_.pop_front();
+    lk.unlock();
+    not_full_.notify_one();
+    return out;
+  }
+
+  /// Non-blocking pop used by polling consumers.
+  std::optional<T> try_pop() {
+    std::unique_lock<std::mutex> lk(mu_);
+    if (items_.empty()) return std::nullopt;
+    T out = std::move(items_.front());
+    items_.pop_front();
+    lk.unlock();
+    not_full_.notify_one();
+    return out;
+  }
+
+  /// Marks end-of-stream: producers fail fast, consumers drain then stop.
+  void close() {
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      closed_ = true;
+    }
+    not_empty_.notify_all();
+    not_full_.notify_all();
+  }
+
+  [[nodiscard]] bool closed() const {
+    std::lock_guard<std::mutex> lk(mu_);
+    return closed_;
+  }
+
+  [[nodiscard]] std::size_t size() const {
+    std::lock_guard<std::mutex> lk(mu_);
+    return items_.size();
+  }
+
+ private:
+  const std::size_t capacity_;
+  mutable std::mutex mu_;
+  std::condition_variable not_empty_;
+  std::condition_variable not_full_;
+  std::deque<T> items_;
+  bool closed_ = false;
+};
+
+}  // namespace hq

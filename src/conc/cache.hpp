@@ -1,0 +1,42 @@
+// Cache-line geometry and padding helpers used throughout the runtime.
+//
+// Shared mutable runtime state (deque ends, queue indices, worker flags) is
+// padded to avoid false sharing; see C++ Core Guidelines CP.3 (minimize
+// explicit sharing) and the SPSC-queue literature cited by the paper
+// (Lamport '83, FastForward PPoPP'08).
+#pragma once
+
+#include <cstddef>
+#include <new>
+#include <utility>
+
+namespace hq {
+
+/// Size used to keep unrelated atomics on distinct cache lines. We use a
+/// fixed 64 bytes rather than std::hardware_destructive_interference_size to
+/// keep the ABI independent of compiler flags (GCC warns when the constant
+/// leaks into public types).
+inline constexpr std::size_t kCacheLine = 64;
+
+/// Wraps a value in storage padded up to a full cache line so that arrays of
+/// `padded<T>` never share lines between elements.
+template <typename T>
+struct alignas(kCacheLine) padded {
+  T value{};
+
+  padded() = default;
+  template <typename... Args>
+  explicit padded(Args&&... args) : value(std::forward<Args>(args)...) {}
+
+  T* operator->() { return &value; }
+  const T* operator->() const { return &value; }
+  T& operator*() { return value; }
+  const T& operator*() const { return value; }
+
+ private:
+  // Guarantee the footprint is a whole number of lines even when T is small.
+  char pad_[(sizeof(T) % kCacheLine) == 0 ? kCacheLine
+                                          : kCacheLine - (sizeof(T) % kCacheLine)] = {};
+};
+
+}  // namespace hq

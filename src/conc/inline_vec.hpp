@@ -1,0 +1,160 @@
+// Small vector with inline storage.
+//
+// Task frames carry short lists (dependents, completion hooks, queue
+// attachments). Frames are allocated per spawn, so these lists avoid heap
+// traffic for the common small sizes and spill to the heap only beyond N.
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <memory>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace hq {
+
+/// Minimal vector with N inline slots. Supports the operations the runtime
+/// needs: push_back, unordered erase, iteration, clear. Move-only semantics
+/// are sufficient (frames are never copied).
+template <typename T, std::size_t N>
+class inline_vec {
+ public:
+  inline_vec() = default;
+  inline_vec(const inline_vec&) = delete;
+  inline_vec& operator=(const inline_vec&) = delete;
+
+  inline_vec(inline_vec&& other) noexcept { move_from(std::move(other)); }
+  inline_vec& operator=(inline_vec&& other) noexcept {
+    if (this != &other) {
+      destroy_all();
+      move_from(std::move(other));
+    }
+    return *this;
+  }
+
+  ~inline_vec() { destroy_all(); }
+
+  T& push_back(T value) {
+    if (size_ == cap_) grow();
+    T* slot = data() + size_;
+    ::new (static_cast<void*>(slot)) T(std::move(value));
+    ++size_;
+    return *slot;
+  }
+
+  template <typename... Args>
+  T& emplace_back(Args&&... args) {
+    if (size_ == cap_) grow();
+    T* slot = data() + size_;
+    ::new (static_cast<void*>(slot)) T(std::forward<Args>(args)...);
+    ++size_;
+    return *slot;
+  }
+
+  /// Remove element at index by swapping in the last element (O(1); order is
+  /// not preserved — fine for membership lists).
+  void erase_unordered(std::size_t i) {
+    assert(i < size_);
+    T* d = data();
+    if (i != size_ - 1) d[i] = std::move(d[size_ - 1]);
+    d[size_ - 1].~T();
+    --size_;
+  }
+
+  /// Remove the first element equal to v; returns whether one was found.
+  bool erase_value(const T& v) {
+    for (std::size_t i = 0; i < size_; ++i) {
+      if (data()[i] == v) {
+        erase_unordered(i);
+        return true;
+      }
+    }
+    return false;
+  }
+
+  void clear() {
+    T* d = data();
+    for (std::size_t i = 0; i < size_; ++i) d[i].~T();
+    size_ = 0;
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+  [[nodiscard]] bool empty() const noexcept { return size_ == 0; }
+
+  T* data() noexcept { return heap_ ? heap_ : inline_ptr(); }
+  const T* data() const noexcept { return heap_ ? heap_ : inline_ptr(); }
+
+  T& operator[](std::size_t i) {
+    assert(i < size_);
+    return data()[i];
+  }
+  const T& operator[](std::size_t i) const {
+    assert(i < size_);
+    return data()[i];
+  }
+
+  T& back() { return data()[size_ - 1]; }
+
+  T* begin() noexcept { return data(); }
+  T* end() noexcept { return data() + size_; }
+  const T* begin() const noexcept { return data(); }
+  const T* end() const noexcept { return data() + size_; }
+
+ private:
+  T* inline_ptr() noexcept { return std::launder(reinterpret_cast<T*>(storage_)); }
+  const T* inline_ptr() const noexcept {
+    return std::launder(reinterpret_cast<const T*>(storage_));
+  }
+
+  void grow() {
+    const std::size_t new_cap = cap_ * 2;
+    T* mem = static_cast<T*>(::operator new(new_cap * sizeof(T), std::align_val_t{alignof(T)}));
+    T* d = data();
+    for (std::size_t i = 0; i < size_; ++i) {
+      ::new (static_cast<void*>(mem + i)) T(std::move(d[i]));
+      d[i].~T();
+    }
+    release_heap();
+    heap_ = mem;
+    cap_ = new_cap;
+  }
+
+  void destroy_all() {
+    clear();
+    release_heap();
+    heap_ = nullptr;
+    cap_ = N;
+  }
+
+  void release_heap() {
+    if (heap_) ::operator delete(heap_, std::align_val_t{alignof(T)});
+  }
+
+  void move_from(inline_vec&& other) {
+    if (other.heap_) {
+      heap_ = other.heap_;
+      cap_ = other.cap_;
+      size_ = other.size_;
+      other.heap_ = nullptr;
+      other.cap_ = N;
+      other.size_ = 0;
+    } else {
+      heap_ = nullptr;
+      cap_ = N;
+      size_ = other.size_;
+      for (std::size_t i = 0; i < size_; ++i) {
+        ::new (static_cast<void*>(inline_ptr() + i)) T(std::move(other.inline_ptr()[i]));
+        other.inline_ptr()[i].~T();
+      }
+      other.size_ = 0;
+    }
+  }
+
+  alignas(T) unsigned char storage_[N * sizeof(T)];
+  T* heap_ = nullptr;
+  std::size_t size_ = 0;
+  std::size_t cap_ = N;
+};
+
+}  // namespace hq

@@ -1,0 +1,89 @@
+// In-order commit (reorder) buffer.
+//
+// Serial in-order pipeline stages in the pthreads and TBB-like baselines
+// receive items tagged with a sequence number from parallel upstream stages
+// and must emit them in sequence order. This buffer parks early arrivals and
+// releases runs of consecutive items. (The hyperqueue makes this machinery
+// unnecessary — order is a property of the queue itself — which is exactly
+// the programmability point of the paper.)
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <utility>
+#include <vector>
+
+namespace hq {
+
+/// MPSC in-order release buffer keyed by a dense uint64 sequence.
+template <typename T>
+class ordered_commit {
+ public:
+  /// Insert item with its sequence number (thread-safe).
+  void put(std::uint64_t seq, T value) {
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      pending_.emplace(seq, std::move(value));
+    }
+    ready_.notify_one();
+  }
+
+  /// Consumer: blocks until the next item in sequence is available, or the
+  /// buffer is finished and drained (nullopt).
+  std::optional<T> take_next() {
+    std::unique_lock<std::mutex> lk(mu_);
+    ready_.wait(lk, [&] {
+      return (!pending_.empty() && pending_.begin()->first == next_) || finished_;
+    });
+    auto it = pending_.find(next_);
+    if (it == pending_.end()) return std::nullopt;  // finished & drained
+    T out = std::move(it->second);
+    pending_.erase(it);
+    ++next_;
+    return out;
+  }
+
+  /// Non-blocking: drain any run of consecutive items that is ready now.
+  std::vector<T> drain_ready() {
+    std::vector<T> out;
+    std::lock_guard<std::mutex> lk(mu_);
+    for (auto it = pending_.find(next_); it != pending_.end();
+         it = pending_.find(next_)) {
+      out.push_back(std::move(it->second));
+      pending_.erase(it);
+      ++next_;
+    }
+    return out;
+  }
+
+  /// Signal that no further put() calls will happen.
+  void finish() {
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      finished_ = true;
+    }
+    ready_.notify_all();
+  }
+
+  [[nodiscard]] std::uint64_t next_sequence() const {
+    std::lock_guard<std::mutex> lk(mu_);
+    return next_;
+  }
+
+  [[nodiscard]] std::size_t parked() const {
+    std::lock_guard<std::mutex> lk(mu_);
+    return pending_.size();
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::condition_variable ready_;
+  std::map<std::uint64_t, T> pending_;
+  std::uint64_t next_ = 0;
+  bool finished_ = false;
+};
+
+}  // namespace hq

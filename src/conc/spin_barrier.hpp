@@ -1,0 +1,39 @@
+// Sense-reversing spin barrier for benchmark harnesses: lets all worker
+// threads start a measured region at the same instant without a kernel
+// round-trip per phase.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+#include "conc/backoff.hpp"
+
+namespace hq {
+
+/// Reusable barrier for a fixed set of participants.
+class spin_barrier {
+ public:
+  explicit spin_barrier(std::uint32_t participants) : total_(participants) {}
+
+  spin_barrier(const spin_barrier&) = delete;
+  spin_barrier& operator=(const spin_barrier&) = delete;
+
+  /// Blocks until all participants arrive; safe to reuse immediately.
+  void arrive_and_wait() noexcept {
+    const bool my_sense = !sense_.load(std::memory_order_relaxed);
+    if (arrived_.fetch_add(1, std::memory_order_acq_rel) + 1 == total_) {
+      arrived_.store(0, std::memory_order_relaxed);
+      sense_.store(my_sense, std::memory_order_release);
+    } else {
+      backoff bo;
+      while (sense_.load(std::memory_order_acquire) != my_sense) bo.pause();
+    }
+  }
+
+ private:
+  const std::uint32_t total_;
+  std::atomic<std::uint32_t> arrived_{0};
+  std::atomic<bool> sense_{false};
+};
+
+}  // namespace hq

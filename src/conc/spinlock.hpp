@@ -1,0 +1,29 @@
+// Tiny test-and-set spinlock with backoff, for very short critical sections
+// (frame dependent lists, object trackers). Satisfies Lockable, so it works
+// with std::lock_guard (C++ Core Guidelines CP.20: RAII, never bare lock()).
+#pragma once
+
+#include <atomic>
+
+#include "conc/backoff.hpp"
+
+namespace hq {
+
+class spinlock {
+ public:
+  void lock() noexcept {
+    backoff bo;
+    while (flag_.exchange(true, std::memory_order_acquire)) {
+      while (flag_.load(std::memory_order_relaxed)) bo.pause();
+    }
+  }
+
+  bool try_lock() noexcept { return !flag_.exchange(true, std::memory_order_acquire); }
+
+  void unlock() noexcept { flag_.store(false, std::memory_order_release); }
+
+ private:
+  std::atomic<bool> flag_{false};
+};
+
+}  // namespace hq

@@ -1,0 +1,128 @@
+// Single-producer single-consumer rings.
+//
+// Two classic designs referenced by the paper (Section 3.2):
+//  * spsc_ring<T>   — Lamport's array queue ['83] with cached-index
+//                     optimization (producer caches the consumer's head and
+//                     vice versa, so the common case touches one shared line).
+//  * ff_ring<T>     — FastForward [Giacomoni et al., PPoPP'08]: slots carry
+//                     their own full/empty state via a sentinel value, so
+//                     producer and consumer never read each other's index.
+//                     Requires a designated "nil" element value.
+//
+// Hyperqueue segments use the Lamport design (core/segment.hpp); both rings
+// are kept here as stand-alone substrates for the Section 3.2 ablation bench.
+#pragma once
+
+#include <atomic>
+#include <bit>
+#include <cassert>
+#include <cstddef>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "conc/cache.hpp"
+
+namespace hq {
+
+/// Bounded SPSC FIFO on a power-of-two circular array. Non-blocking: push
+/// and pop fail (return false / nullopt) instead of waiting.
+template <typename T>
+class spsc_ring {
+ public:
+  /// @param capacity number of elements; rounded up to a power of two.
+  explicit spsc_ring(std::size_t capacity)
+      : mask_(std::bit_ceil(capacity < 2 ? std::size_t{2} : capacity) - 1),
+        slots_(mask_ + 1) {}
+
+  spsc_ring(const spsc_ring&) = delete;
+  spsc_ring& operator=(const spsc_ring&) = delete;
+
+  [[nodiscard]] std::size_t capacity() const noexcept { return mask_ + 1; }
+
+  /// Producer side. Returns false when the ring is full.
+  bool try_push(T value) {
+    const std::size_t t = tail_.value.load(std::memory_order_relaxed);
+    if (t - head_cache_ > mask_) {
+      head_cache_ = head_.value.load(std::memory_order_acquire);
+      if (t - head_cache_ > mask_) return false;
+    }
+    slots_[t & mask_] = std::move(value);
+    tail_.value.store(t + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Consumer side. Returns nullopt when the ring is empty.
+  std::optional<T> try_pop() {
+    const std::size_t h = head_.value.load(std::memory_order_relaxed);
+    if (h == tail_cache_) {
+      tail_cache_ = tail_.value.load(std::memory_order_acquire);
+      if (h == tail_cache_) return std::nullopt;
+    }
+    T out = std::move(slots_[h & mask_]);
+    head_.value.store(h + 1, std::memory_order_release);
+    return out;
+  }
+
+  /// Approximate size; exact when called from either endpoint thread.
+  [[nodiscard]] std::size_t size() const noexcept {
+    return tail_.value.load(std::memory_order_acquire) -
+           head_.value.load(std::memory_order_acquire);
+  }
+
+  [[nodiscard]] bool empty() const noexcept { return size() == 0; }
+
+ private:
+  const std::size_t mask_;
+  std::vector<T> slots_;
+  padded<std::atomic<std::size_t>> head_{};  // consumer-owned
+  padded<std::atomic<std::size_t>> tail_{};  // producer-owned
+  // Endpoint-local caches of the opposite index (no sharing in steady state).
+  alignas(kCacheLine) std::size_t head_cache_ = 0;  // producer-local
+  alignas(kCacheLine) std::size_t tail_cache_ = 0;  // consumer-local
+};
+
+/// FastForward-style SPSC ring: each slot's content doubles as its state.
+/// `nil` must be a value that is never pushed (e.g. nullptr for pointers).
+template <typename T>
+class ff_ring {
+ public:
+  explicit ff_ring(std::size_t capacity, T nil = T{})
+      : mask_(std::bit_ceil(capacity < 2 ? std::size_t{2} : capacity) - 1),
+        nil_(nil),
+        slots_(mask_ + 1) {
+    for (auto& s : slots_) s.value.store(nil_, std::memory_order_relaxed);
+  }
+
+  ff_ring(const ff_ring&) = delete;
+  ff_ring& operator=(const ff_ring&) = delete;
+
+  [[nodiscard]] std::size_t capacity() const noexcept { return mask_ + 1; }
+
+  bool try_push(T value) {
+    assert(!(value == nil_) && "nil sentinel cannot be enqueued");
+    auto& slot = slots_[ptail_ & mask_].value;
+    if (slot.load(std::memory_order_acquire) != nil_) return false;  // full
+    slot.store(value, std::memory_order_release);
+    ++ptail_;
+    return true;
+  }
+
+  std::optional<T> try_pop() {
+    auto& slot = slots_[chead_ & mask_].value;
+    T v = slot.load(std::memory_order_acquire);
+    if (v == nil_) return std::nullopt;  // empty
+    slot.store(nil_, std::memory_order_release);
+    ++chead_;
+    return v;
+  }
+
+ private:
+  const std::size_t mask_;
+  const T nil_;
+  std::vector<padded<std::atomic<T>>> slots_;
+  alignas(kCacheLine) std::size_t ptail_ = 0;  // producer-local
+  alignas(kCacheLine) std::size_t chead_ = 0;  // consumer-local
+};
+
+}  // namespace hq

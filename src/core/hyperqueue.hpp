@@ -1,0 +1,309 @@
+// hyperqueue<T> — the paper's programming abstraction (Section 2).
+//
+// A hyperqueue is a deterministic single-producer single-consumer queue
+// whose *implementation* lets many tasks push concurrently (reduction over
+// views) and one task pop concurrently with the pushes, while the consumer
+// observes exactly the serial-elision value order.
+//
+// Usage mirrors Figure 2 of the paper:
+//
+//   void producer(hq::pushdep<data> q, int lo, int hi);
+//   void consumer(hq::popdep<data> q) {
+//     while (!q.empty()) { data d = q.pop(); ... }
+//   }
+//   ...
+//   hq::hyperqueue<data> queue;
+//   hq::spawn(producer, (hq::pushdep<data>)queue, 0, total);
+//   hq::spawn(consumer, (hq::popdep<data>)queue);
+//   hq::sync();
+//
+// Access modes: pushdep (push only), popdep (empty/pop only), pushpopdep
+// (both). Tasks may pass a subset of their own privileges to children.
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+#include "core/queue_cb.hpp"
+#include "sched/task.hpp"
+
+namespace hq {
+
+template <typename T>
+class pushdep;
+template <typename T>
+class popdep;
+template <typename T>
+class pushpopdep;
+
+namespace detail {
+
+template <typename T>
+element_ops make_element_ops() {
+  static_assert(std::is_nothrow_move_constructible_v<T>,
+                "hyperqueue elements must be nothrow move constructible");
+  element_ops ops;
+  ops.size = sizeof(T);
+  ops.align = alignof(T);
+  ops.move_construct = [](void* dst, void* src) noexcept {
+    ::new (dst) T(std::move(*static_cast<T*>(src)));
+  };
+  ops.destroy = [](void* p) noexcept { static_cast<T*>(p)->~T(); };
+  return ops;
+}
+
+/// Shared implementation of the typed element operations over the raw
+/// control-block interface.
+template <typename T>
+struct typed_ops {
+  static void push(queue_cb* cb, T value) {
+    cb->push(&value);  // moved out; `value` is destroyed as a moved-from shell
+  }
+  static T pop(queue_cb* cb) {
+    alignas(T) std::byte buf[sizeof(T)];
+    cb->pop(buf);
+    T* p = std::launder(reinterpret_cast<T*>(buf));
+    T out = std::move(*p);
+    p->~T();
+    return out;
+  }
+};
+
+}  // namespace detail
+
+/// Contiguous write window into a hyperqueue segment (Section 5.2): as fast
+/// as array stores. Fill slots [0, size()) in order, then commit(n).
+template <typename T>
+class write_slice {
+ public:
+  write_slice(detail::queue_cb* cb, T* data, std::size_t n)
+      : cb_(cb), data_(data), size_(n) {}
+
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+
+  /// Construct the i-th element of the slice.
+  template <typename... Args>
+  void emplace(std::size_t i, Args&&... args) {
+    assert(i < size_ && i == filled_ && "fill write slices in order");
+    ::new (static_cast<void*>(data_ + i)) T(std::forward<Args>(args)...);
+    ++filled_;
+  }
+
+  /// Publish the first `n` elements (defaults to all filled).
+  void commit() { commit(filled_); }
+  void commit(std::size_t n) {
+    assert(n == filled_ && n <= size_);
+    cb_->commit_write(n);
+    size_ = 0;
+    filled_ = 0;
+  }
+
+ private:
+  detail::queue_cb* cb_;
+  T* data_;
+  std::size_t size_;
+  std::size_t filled_ = 0;
+};
+
+/// Contiguous read window (Section 5.2): all elements are ready. Consume
+/// [0, size()), then release().
+template <typename T>
+class read_slice {
+ public:
+  read_slice(detail::queue_cb* cb, T* data, std::size_t n)
+      : cb_(cb), data_(data), size_(n) {}
+
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+  [[nodiscard]] bool empty() const noexcept { return size_ == 0; }
+  const T& operator[](std::size_t i) const {
+    assert(i < size_);
+    return data_[i];
+  }
+  const T* begin() const noexcept { return data_; }
+  const T* end() const noexcept { return data_ + size_; }
+
+  /// Retire the consumed elements from the queue.
+  void release() {
+    if (size_ != 0) cb_->commit_read(size_);
+    size_ = 0;
+  }
+
+ private:
+  detail::queue_cb* cb_;
+  T* data_;
+  std::size_t size_;
+};
+
+namespace detail {
+
+/// Common base of the access-mode wrappers: shares the control block.
+class dep_base {
+ public:
+  dep_base() = default;
+  explicit dep_base(queue_cb* cb) : cb_(cb) {
+    if (cb_ != nullptr) cb_->add_ref();
+  }
+  dep_base(const dep_base& o) : cb_(o.cb_) {
+    if (cb_ != nullptr) cb_->add_ref();
+  }
+  dep_base(dep_base&& o) noexcept : cb_(o.cb_) { o.cb_ = nullptr; }
+  dep_base& operator=(const dep_base& o) {
+    if (this != &o) {
+      if (o.cb_ != nullptr) o.cb_->add_ref();
+      if (cb_ != nullptr) cb_->release();
+      cb_ = o.cb_;
+    }
+    return *this;
+  }
+  dep_base& operator=(dep_base&& o) noexcept {
+    if (this != &o) {
+      if (cb_ != nullptr) cb_->release();
+      cb_ = o.cb_;
+      o.cb_ = nullptr;
+    }
+    return *this;
+  }
+  ~dep_base() {
+    if (cb_ != nullptr) cb_->release();
+  }
+
+ protected:
+  queue_cb* cb_ = nullptr;
+};
+
+}  // namespace detail
+
+/// Push-only access mode: the spawned task may append values.
+template <typename T>
+class pushdep : public detail::dep_base {
+ public:
+  pushdep() = default;
+  explicit pushdep(detail::queue_cb* cb) : dep_base(cb) {}
+
+  /// Append a value; exposed to any consumer in serial program order.
+  void push(T value) { detail::typed_ops<T>::push(cb_, std::move(value)); }
+
+  /// Reserve up to `want` contiguous slots (Section 5.2).
+  write_slice<T> get_write_slice(std::size_t want) {
+    std::uint64_t n = 0;
+    void* p = cb_->write_slice(want, &n);
+    return write_slice<T>(cb_, static_cast<T*>(p), static_cast<std::size_t>(n));
+  }
+
+  /// Spawn-argument resolution: attach the child task with push privileges.
+  pushdep hq_dep_resolve(detail::task_frame* fr) const {
+    cb_->attach_spawn(fr, detail::kPrivPush);
+    return *this;
+  }
+};
+
+/// Pop-only access mode: the spawned task may test emptiness and pop.
+template <typename T>
+class popdep : public detail::dep_base {
+ public:
+  popdep() = default;
+  explicit popdep(detail::queue_cb* cb) : dep_base(cb) {}
+
+  /// False when a value is available; true only when no older producer can
+  /// still push (mimics sequential execution; blocks until certain).
+  bool empty() { return cb_->empty(); }
+
+  /// Remove the next value. Popping an empty queue is a program error.
+  T pop() { return detail::typed_ops<T>::pop(cb_); }
+
+  /// Up to `want` ready elements, contiguous (Section 5.2); empty slice at
+  /// definitive end-of-queue.
+  read_slice<T> get_read_slice(std::size_t want) {
+    std::uint64_t n = 0;
+    void* p = cb_->read_slice(want, &n);
+    return read_slice<T>(cb_, static_cast<T*>(p), static_cast<std::size_t>(n));
+  }
+
+  popdep hq_dep_resolve(detail::task_frame* fr) const {
+    cb_->attach_spawn(fr, detail::kPrivPop);
+    return *this;
+  }
+};
+
+/// Combined push/pop access mode.
+template <typename T>
+class pushpopdep : public detail::dep_base {
+ public:
+  pushpopdep() = default;
+  explicit pushpopdep(detail::queue_cb* cb) : dep_base(cb) {}
+
+  void push(T value) { detail::typed_ops<T>::push(cb_, std::move(value)); }
+  bool empty() { return cb_->empty(); }
+  T pop() { return detail::typed_ops<T>::pop(cb_); }
+  write_slice<T> get_write_slice(std::size_t want) {
+    std::uint64_t n = 0;
+    void* p = cb_->write_slice(want, &n);
+    return write_slice<T>(cb_, static_cast<T*>(p), static_cast<std::size_t>(n));
+  }
+  read_slice<T> get_read_slice(std::size_t want) {
+    std::uint64_t n = 0;
+    void* p = cb_->read_slice(want, &n);
+    return read_slice<T>(cb_, static_cast<T*>(p), static_cast<std::size_t>(n));
+  }
+
+  pushpopdep hq_dep_resolve(detail::task_frame* fr) const {
+    cb_->attach_spawn(fr, detail::kPrivPush | detail::kPrivPop);
+    return *this;
+  }
+};
+
+/// The hyperqueue variable. Must be constructed inside a task (typically the
+/// pipeline driver); the constructing task is the owner and holds both push
+/// and pop privileges, so it may use the queue directly (Figure 6).
+template <typename T>
+class hyperqueue {
+ public:
+  /// @param segment_length elements per queue segment (Section 5.1 tuning
+  /// knob); rounded up to a power of two.
+  explicit hyperqueue(std::size_t segment_length = kDefaultSegmentLength)
+      : cb_(new detail::queue_cb(detail::make_element_ops<T>(), segment_length)) {
+    cb_->attach_owner(detail::current_frame());
+  }
+
+  hyperqueue(const hyperqueue&) = delete;
+  hyperqueue& operator=(const hyperqueue&) = delete;
+
+  /// Destruction waits for all tasks using the queue (helping the scheduler)
+  /// and then discards any values still inside, as the paper allows.
+  ~hyperqueue() {
+    cb_->detach_owner();
+    cb_->release();
+  }
+
+  static constexpr std::size_t kDefaultSegmentLength = 512;
+
+  // Owner-task direct access (Figure 6 / Section 5.5 idioms).
+  void push(T value) { detail::typed_ops<T>::push(cb_, std::move(value)); }
+  bool empty() { return cb_->empty(); }
+  T pop() { return detail::typed_ops<T>::pop(cb_); }
+
+  // Access-mode casts used at spawn sites, as in the paper.
+  operator pushdep<T>() const { return pushdep<T>(cb_); }          // NOLINT
+  operator popdep<T>() const { return popdep<T>(cb_); }            // NOLINT
+  operator pushpopdep<T>() const { return pushpopdep<T>(cb_); }    // NOLINT
+
+  /// Number of segments currently allocated (tests/benches).
+  [[nodiscard]] std::size_t segments() const { return cb_->segments_allocated(); }
+
+  // Selective sync (Section 5.5): suspend the calling task until its
+  // children with the given access mode on this queue have completed.
+  // sync_pop() is the paper's "sync (popdep<T>)queue;" — placed before
+  // empty()/pop() it turns blocking into suspension. sync_queue() is Swan's
+  // "sync queue;" (all children on this queue, any mode).
+  void sync_pop() { cb_->sync_children(detail::kPrivPop); }
+  void sync_push() { cb_->sync_children(detail::kPrivPush); }
+  void sync_queue() { cb_->sync_children(0); }
+
+ private:
+  detail::queue_cb* cb_;
+};
+
+}  // namespace hq

@@ -1,0 +1,479 @@
+#include "core/queue_cb.hpp"
+
+#include <bit>
+#include <functional>
+
+#include "conc/backoff.hpp"
+#include "sched/scheduler.hpp"
+
+namespace hq::detail {
+
+namespace {
+
+/// One step of a blocking wait: run a ready task if possible, else back off.
+/// Keeping the worker executing tasks while "blocked" is what makes the
+/// paper's block-the-worker policy live-lock free even on one worker.
+void wait_step(backoff& bo) {
+  scheduler* s = scheduler::current();
+  if (s != nullptr && s->help_one()) {
+    bo.reset();
+  } else {
+    bo.pause();
+  }
+}
+
+}  // namespace
+
+queue_cb::queue_cb(element_ops o, std::uint64_t segment_capacity)
+    : ops(o),
+      seg_capacity(std::bit_ceil(segment_capacity < 2 ? std::uint64_t{2}
+                                                      : segment_capacity)) {}
+
+queue_cb::~queue_cb() {
+  assert(owner == nullptr && "queue control block released before detach_owner");
+  // Drain the segment free list.
+  while (free_list != nullptr) {
+    segment* s = free_list;
+    free_list = s->next.load(std::memory_order_relaxed);
+    s->reset();
+    segment::destroy(s);
+    seg_live.fetch_sub(1, std::memory_order_relaxed);
+  }
+  assert(seg_live.load(std::memory_order_relaxed) == 0 &&
+         "segment leak: some segment was never linked into the queue chain");
+}
+
+segment* queue_cb::alloc_segment() {
+  {
+    std::lock_guard<spinlock> lk(free_mu);
+    if (free_list != nullptr) {
+      segment* s = free_list;
+      free_list = s->next.load(std::memory_order_relaxed);
+      s->next.store(nullptr, std::memory_order_relaxed);
+      return s;
+    }
+  }
+  seg_live.fetch_add(1, std::memory_order_relaxed);
+  return segment::create(seg_capacity, &ops);
+}
+
+void queue_cb::recycle_segment(segment* s) {
+  s->reset();
+  std::lock_guard<spinlock> lk(free_mu);
+  s->next.store(free_list, std::memory_order_relaxed);
+  free_list = s;
+}
+
+qattach* queue_cb::my_attachment(std::uint8_t need) {
+  task_frame* fr = current_frame();
+  assert(fr != nullptr && "hyperqueue operations are only valid inside a task");
+  for (qattach* a : fr->attachments) {
+    if (a->q == this) {
+      assert((a->priv & need) == need && "task lacks the required queue privilege");
+      return a;
+    }
+  }
+  assert(!"task has no privileges on this hyperqueue");
+  return nullptr;
+}
+
+void queue_cb::attach_owner(task_frame* owner_frame) {
+  assert(owner_frame != nullptr &&
+         "construct hyperqueues inside a task (e.g. the scheduler::run root)");
+  std::lock_guard<std::mutex> lk(mu);
+  assert(owner == nullptr);
+  auto* a = new qattach();
+  a->q = this;
+  a->frame = owner_frame;
+  a->priv = kPrivPush | kPrivPop;
+  // Invariant 1: a hyperqueue always holds at least one segment. The initial
+  // split hands the head to the owner's queue view and the tail to its user
+  // view (Section 4.1).
+  segment* s0 = alloc_segment();
+  auto [head_v, tail_v] = split(view::local(s0), next_nl_id++);
+  a->queue = head_v;
+  a->user = tail_v;
+  owner = a;
+  owner_frame->attachments.push_back(a);
+}
+
+void queue_cb::detach_owner() {
+  qattach* a = owner;
+  assert(a != nullptr);
+  assert(current_frame() == a->frame &&
+         "hyperqueue must be destroyed by the task that created it");
+  // Wait for every task spawned on this queue (children complete bottom-up,
+  // so direct children suffice), helping the scheduler meanwhile.
+  backoff bo;
+  for (;;) {
+    {
+      std::lock_guard<std::mutex> lk(mu);
+      if (a->live_children == 0) break;
+    }
+    wait_step(bo);
+  }
+  // Single-threaded teardown. After all tasks completed, the reduction
+  // cascade has linked every segment into the chain reachable from the
+  // queue view head (invariants 4/5); destroy leftover values and free.
+  assert(a->queue.present && a->queue.head_local());
+  segment* s = a->queue.head;
+  while (s != nullptr) {
+    segment* n = s->next.load(std::memory_order_relaxed);
+    s->destroy_remaining();
+    s->next.store(nullptr, std::memory_order_relaxed);
+    segment::destroy(s);
+    seg_live.fetch_sub(1, std::memory_order_relaxed);
+    s = n;
+  }
+  a->frame->attachments.erase_value(a);
+  {
+    std::lock_guard<std::mutex> lk(mu);
+    owner = nullptr;
+  }
+  delete a;
+}
+
+qattach* queue_cb::attach_spawn(task_frame* child, std::uint8_t priv) {
+  assert(priv != 0);
+  std::lock_guard<std::mutex> lk(mu);
+  qattach* pa = my_attachment(priv);  // asserts the subset-privilege rule
+
+  auto* ca = new qattach();
+  ca->q = this;
+  ca->frame = child;
+  ca->parent = pa;
+  ca->priv = priv;
+
+  // Live sibling chain: program order left-to-right, youngest at last_child.
+  ca->left = pa->last_child;
+  if (ca->left != nullptr) ca->left->right_sib = ca;
+  pa->last_child = ca;
+  pa->live_children += 1;
+
+  // View transfer at spawn (Section 4.2): push, pop and pushpop spawns all
+  // take the parent's user view (for pop it hides the pending values from
+  // subsequent push tasks).
+  ca->user = pa->user.take();
+
+  if ((priv & kPrivPop) != 0) {
+    // The queue view follows the consumer. It may be ε here when an older
+    // pop sibling still holds it; the child claims it lazily (see
+    // ensure_queue_view) once that sibling completed.
+    ca->queue = pa->queue.take();
+    // Scheduling rule 3: pop-privileged tasks of one parent run FIFO.
+    if (pa->last_pop_child != nullptr) {
+      task_frame::depend(child, pa->last_pop_child->frame);
+    }
+    pa->last_pop_child = ca;
+    pa->live_pop_children += 1;
+  }
+
+  if ((priv & kPrivPush) != 0) {
+    // Live-producer accounting for the definitive-empty test; the increment
+    // walks to the owner like the paper's O(depth) early reduction.
+    for (qattach* p = ca; p != nullptr; p = p->parent) p->subtree_pushers += 1;
+  }
+
+  child->attachments.push_back(ca);
+  add_ref();
+  child->completion_hooks.push_back(std::function<void()>([this, ca] {
+    on_task_complete(ca);
+    release();
+  }));
+  return ca;
+}
+
+void queue_cb::on_task_complete(qattach* a) {
+  std::lock_guard<std::mutex> lk(mu);
+
+  // "Return from spawn" (Section 4.2): the user view can no longer grow.
+  // Fold this task's views in program order — children ∘ user ∘ right (the
+  // implicit sync already completed all children, so the children view is
+  // final) — and cascade the result to the nearest live left sibling, or to
+  // the parent's children view.
+  assert(a->last_child == nullptr && a->live_children == 0 &&
+         "children must complete before their parent (implicit sync)");
+  reduce_into(a->user, a->right_view.take());
+  reduce_into(a->children, a->user.take());
+  if (a->left != nullptr) {
+    reduce_into(a->left->right_view, a->children.take());
+  } else {
+    assert(a->parent != nullptr);
+    reduce_into(a->parent->children, a->children.take());
+  }
+
+  // Pop privileges: return the (head-only) queue view to the parent.
+  if (!a->queue.empty()) {
+    assert(a->parent != nullptr);
+    assert(a->parent->queue.empty() && "two live queue views (invariant 2)");
+    a->parent->queue = a->queue.take();
+  }
+
+  if ((a->priv & kPrivPush) != 0) {
+    for (qattach* p = a; p != nullptr; p = p->parent) {
+      p->subtree_pushers -= 1;
+      assert(p->subtree_pushers >= 0);
+    }
+  }
+
+  // Unlink from the live sibling chain.
+  if (a->left != nullptr) a->left->right_sib = a->right_sib;
+  if (a->right_sib != nullptr) a->right_sib->left = a->left;
+  qattach* pa = a->parent;
+  assert(pa != nullptr);
+  if (pa->last_child == a) pa->last_child = a->left;
+  if (pa->last_pop_child == a) pa->last_pop_child = nullptr;
+  pa->live_children -= 1;
+  if ((a->priv & kPrivPop) != 0) pa->live_pop_children -= 1;
+
+  assert(a->user.empty() && a->right_view.empty() && a->children.empty() &&
+         a->queue.empty());
+  a->frame = nullptr;
+  delete a;
+}
+
+void queue_cb::merge_left_early(qattach* a, view tmp) {
+  // The view immediately preceding a's user view in program order (see the
+  // total order of Section 4.4): the youngest live child's right view, then
+  // a's own children view, then recursively the nearest live left sibling /
+  // ancestor children views, ending at the owner.
+  if (a->last_child != nullptr) {
+    reduce_into(a->last_child->right_view, std::move(tmp));
+    return;
+  }
+  if (!a->children.empty()) {
+    reduce_into(a->children, std::move(tmp));
+    return;
+  }
+  qattach* cur = a;
+  for (;;) {
+    if (cur->left != nullptr) {
+      reduce_into(cur->left->right_view, std::move(tmp));
+      return;
+    }
+    qattach* p = cur->parent;
+    if (p == nullptr) {
+      // Owner level: deposit into the children view even when empty.
+      reduce_into(cur->children, std::move(tmp));
+      return;
+    }
+    if (!p->children.empty()) {
+      reduce_into(p->children, std::move(tmp));
+      return;
+    }
+    cur = p;
+  }
+}
+
+long queue_cb::older_pushers(const qattach* a) const {
+  long total = a->subtree_pushers;
+  // a's own (synchronous) pushes do not count; its spawn-time increment is
+  // removed. The owner attachment was never spawned, hence never counted.
+  if ((a->priv & kPrivPush) != 0 && a->parent != nullptr) total -= 1;
+  for (const qattach* cur = a; cur != nullptr; cur = cur->parent) {
+    for (const qattach* sib = cur->left; sib != nullptr; sib = sib->left) {
+      total += sib->subtree_pushers;
+    }
+  }
+  assert(total >= 0);
+  return total;
+}
+
+// ---------------------------------------------------------------- producer
+
+void queue_cb::push(void* src) {
+  qattach* a = my_attachment(kPrivPush);
+  if (!a->user.empty()) {
+    assert(a->user.tail_local() && "user views hold local tails while live");
+    segment* s = a->user.tail;
+    if (s->try_push(src)) return;
+    // Segment full: chain a fresh one. We own s's tail (invariant 5), so the
+    // link needs no lock.
+    segment* ns = alloc_segment();
+    bool ok = ns->try_push(src);
+    assert(ok);
+    (void)ok;
+    s->next.store(ns, std::memory_order_release);
+    a->user.tail = ns;
+    return;
+  }
+  // Empty user view: create a segment and make its head discoverable at the
+  // immediately preceding view now (early reduction, Section 4.1), so a
+  // concurrent consumer can reach the data as soon as older tasks complete.
+  segment* ns = alloc_segment();
+  bool ok = ns->try_push(src);
+  assert(ok);
+  (void)ok;
+  std::lock_guard<std::mutex> lk(mu);
+  auto [head_v, tail_v] = split(view::local(ns), next_nl_id++);
+  merge_left_early(a, head_v);
+  a->user = tail_v;
+}
+
+void* queue_cb::write_slice(std::uint64_t want, std::uint64_t* count) {
+  qattach* a = my_attachment(kPrivPush);
+  if (want < 1) want = 1;
+  if (want > seg_capacity) want = seg_capacity;
+  if (!a->user.empty()) {
+    segment* s = a->user.tail;
+    const std::uint64_t t = s->tail.load(std::memory_order_relaxed);
+    const std::uint64_t h = s->head.load(std::memory_order_acquire);
+    const std::uint64_t free_total = s->capacity() - (t - h);
+    const std::uint64_t contig = std::min(s->capacity() - (t & s->mask), free_total);
+    if (contig >= want) {
+      *count = want;
+      return s->slot(t);
+    }
+    // Not enough contiguous room: open a fresh segment (Section 5.2 allows
+    // allocating to honour the requested length).
+    segment* ns = alloc_segment();
+    s->next.store(ns, std::memory_order_release);
+    a->user.tail = ns;
+    *count = want;
+    return ns->slot(0);
+  }
+  segment* ns = alloc_segment();
+  {
+    std::lock_guard<std::mutex> lk(mu);
+    auto [head_v, tail_v] = split(view::local(ns), next_nl_id++);
+    merge_left_early(a, head_v);
+    a->user = tail_v;
+  }
+  *count = want;
+  return ns->slot(0);
+}
+
+void queue_cb::commit_write(std::uint64_t produced) {
+  qattach* a = my_attachment(kPrivPush);
+  assert(!a->user.empty() && a->user.tail_local());
+  segment* s = a->user.tail;
+  const std::uint64_t t = s->tail.load(std::memory_order_relaxed);
+  assert(t + produced - s->head.load(std::memory_order_acquire) <= s->capacity());
+  s->tail.store(t + produced, std::memory_order_release);
+}
+
+// ---------------------------------------------------------------- consumer
+
+void queue_cb::ensure_queue_view(qattach* a) {
+  assert((a->priv & kPrivPop) != 0);
+  if (a->queue.present && a->live_pop_children == 0) return;
+  backoff bo;
+  for (;;) {
+    {
+      std::lock_guard<std::mutex> lk(mu);
+      // Program order: our own pops resume only after our pop children are
+      // done (they are earlier in the serial elision).
+      if (a->live_pop_children == 0) {
+        if (a->queue.present) return;
+        // Claim the queue view from an ancestor: after the previous consumer
+        // completed, the view travels back up the spawn tree.
+        for (qattach* anc = a->parent; anc != nullptr; anc = anc->parent) {
+          if (anc->queue.present) {
+            a->queue = anc->queue.take();
+            return;
+          }
+        }
+      }
+    }
+    wait_step(bo);
+  }
+}
+
+segment* queue_cb::poll_chain(qattach* a) {
+  assert(a->queue.present && a->queue.head_local());
+  for (;;) {
+    segment* s = a->queue.head;
+    if (s->readable()) return s;
+    segment* n = s->next.load(std::memory_order_acquire);
+    if (n == nullptr) return nullptr;
+    if (s->readable()) return s;  // values committed before the link
+    // Drained interior segment: with next set, no producer holds its tail
+    // (invariant 5), so the consumer may recycle it.
+    a->queue.head = n;
+    recycle_segment(s);
+  }
+}
+
+segment* queue_cb::wait_data(qattach* a) {
+  ensure_queue_view(a);
+  backoff bo;
+  for (;;) {
+    if (segment* s = poll_chain(a)) return s;
+    bool definitive;
+    {
+      std::lock_guard<std::mutex> lk(mu);
+      definitive = older_pushers(a) == 0;
+    }
+    if (definitive) {
+      // Completion cascades run under mu before the counters drop, so after
+      // observing zero all links are in place; one final poll decides.
+      if (segment* s = poll_chain(a)) return s;
+      return nullptr;
+    }
+    wait_step(bo);
+  }
+}
+
+bool queue_cb::empty() {
+  qattach* a = my_attachment(kPrivPop);
+  return wait_data(a) == nullptr;
+}
+
+void queue_cb::pop(void* dst) {
+  qattach* a = my_attachment(kPrivPop);
+  segment* s = wait_data(a);
+  assert(s != nullptr && "pop() on a definitively empty hyperqueue");
+  s->pop_into(dst);
+}
+
+void* queue_cb::read_slice(std::uint64_t want, std::uint64_t* count) {
+  qattach* a = my_attachment(kPrivPop);
+  if (want < 1) want = 1;
+  segment* s = wait_data(a);
+  if (s == nullptr) {
+    *count = 0;
+    return nullptr;
+  }
+  const std::uint64_t h = s->head.load(std::memory_order_relaxed);
+  const std::uint64_t t = s->tail.load(std::memory_order_acquire);
+  const std::uint64_t contig = std::min(t - h, s->capacity() - (h & s->mask));
+  *count = std::min(want, contig);
+  return s->slot(h);
+}
+
+void queue_cb::commit_read(std::uint64_t consumed) {
+  qattach* a = my_attachment(kPrivPop);
+  assert(a->queue.present && a->queue.head_local());
+  segment* s = a->queue.head;
+  std::uint64_t h = s->head.load(std::memory_order_relaxed);
+  assert(h + consumed <= s->tail.load(std::memory_order_acquire));
+  for (std::uint64_t i = 0; i < consumed; ++i) ops.destroy(s->slot(h + i));
+  s->head.store(h + consumed, std::memory_order_release);
+}
+
+// ----------------------------------------------------------- selective sync
+
+void queue_cb::sync_children(std::uint8_t priv_filter) {
+  qattach* a = my_attachment(0);
+  backoff bo;
+  for (;;) {
+    {
+      std::lock_guard<std::mutex> lk(mu);
+      long pending = 0;
+      if (priv_filter == 0) {
+        pending = a->live_children;
+      } else if ((priv_filter & kPrivPop) != 0) {
+        pending = a->live_pop_children;
+      } else {
+        // Push filter: count live push-privileged children.
+        for (qattach* c = a->last_child; c != nullptr; c = c->left) {
+          if ((c->priv & kPrivPush) != 0) ++pending;
+        }
+      }
+      if (pending == 0) return;
+    }
+    wait_step(bo);
+  }
+}
+
+}  // namespace hq::detail

@@ -1,0 +1,187 @@
+// Hyperqueue control block: the non-templated runtime state of one
+// hyperqueue (paper Sections 3 and 4).
+//
+// Responsibilities:
+//  * per-task, per-queue view sets ("attachments"): user / children / right /
+//    queue views plus spawn-tree links (Section 4);
+//  * view transfer at spawn, early head reduction on new segments
+//    (Section 4.1), and the completion-time reduction cascade (Section 4.2);
+//  * the push / pop / empty operations with the paper's deterministic
+//    visibility contract: a consumer observes exactly the serial-elision
+//    value sequence, and empty() returns true only when no task earlier in
+//    program order can still produce (realized with live-producer subtree
+//    counters — the attachment-granularity equivalent of the per-segment
+//    producing flag);
+//  * scheduling rules 1–4 (Section 2.3): pop-privileged tasks are serialized
+//    FIFO per parent via task dependences; push tasks are never delayed.
+//
+// Locking: `mu` guards all attachment/view structure (spawn, completion,
+// early head reduction, definitive-empty checks). Element transfers on
+// segments are lock-free SPSC fast paths.
+#pragma once
+
+#include <atomic>
+#include <cassert>
+#include <cstdint>
+#include <mutex>
+
+#include "conc/spinlock.hpp"
+#include "core/segment.hpp"
+#include "core/view.hpp"
+#include "sched/task.hpp"
+
+namespace hq::detail {
+
+inline constexpr std::uint8_t kPrivPush = 1;
+inline constexpr std::uint8_t kPrivPop = 2;
+
+struct queue_cb;
+
+/// Per-(task, queue) bookkeeping. Owned by the queue control block; lives
+/// from the task's spawn until its completion (the owner attachment lives
+/// until queue destruction). All fields are guarded by queue_cb::mu except
+/// the view fast paths noted below.
+struct qattach {
+  queue_cb* q = nullptr;
+  task_frame* frame = nullptr;  // null once completed
+  qattach* parent = nullptr;    // attachment of the spawning task
+  std::uint8_t priv = 0;
+
+  // Live-sibling chain under `parent`, youngest at parent->last_child.
+  qattach* left = nullptr;
+  qattach* right_sib = nullptr;
+  qattach* last_child = nullptr;
+
+  /// Pop-privileged FIFO per parent (scheduling rule 3): the most recent
+  /// live pop-privileged child.
+  qattach* last_pop_child = nullptr;
+
+  /// Live push-privileged spawned tasks in this attachment's subtree
+  /// (including this task itself if push-privileged and spawned). Zero is
+  /// absorbing: children complete before parents.
+  long subtree_pushers = 0;
+
+  /// Live child attachments (for selective sync, Section 5.5).
+  long live_children = 0;
+  long live_pop_children = 0;
+
+  // Views. `user` and `queue` are accessed lock-free by the owning task
+  // between its start and completion; transfers at spawn/steal/completion
+  // points happen under queue_cb::mu. `children` and `right_view` are only
+  // ever touched under queue_cb::mu (they are written by other tasks).
+  view user;
+  view children;
+  view right_view;
+  view queue;
+};
+
+/// Control block shared by a hyperqueue<T> and all wrappers referencing it.
+struct queue_cb {
+  queue_cb(element_ops o, std::uint64_t segment_capacity);
+  ~queue_cb();
+
+  queue_cb(const queue_cb&) = delete;
+  queue_cb& operator=(const queue_cb&) = delete;
+
+  // ---- lifetime ----------------------------------------------------------
+  void add_ref() noexcept { refs.fetch_add(1, std::memory_order_relaxed); }
+  void release() noexcept {
+    if (refs.fetch_sub(1, std::memory_order_acq_rel) == 1) delete this;
+  }
+
+  /// Create the owner attachment on the constructing task's frame and build
+  /// the initial segment + (queue, user) view pair.
+  void attach_owner(task_frame* owner_frame);
+
+  /// Tear down from the owner task: waits (helping) until all spawned tasks
+  /// on this queue completed, then destroys remaining elements and segments.
+  void detach_owner();
+
+  // ---- spawn / completion protocol ---------------------------------------
+
+  /// Called during spawn-argument resolution on the spawning task's thread:
+  /// creates the child attachment, transfers views, registers scheduling
+  /// dependences (pop FIFO), and installs the completion hook.
+  qattach* attach_spawn(task_frame* child, std::uint8_t priv);
+
+  /// Completion-time protocol (runs as a frame completion hook).
+  void on_task_complete(qattach* a);
+
+  // ---- producer / consumer operations (element_ops-typed payloads) -------
+
+  /// Append one element (move-constructs from src; src is left moved-from).
+  void push(void* src);
+
+  /// Paper semantics: false when a value is available to this task; true
+  /// only when no older-in-program-order producer can still push. Blocks
+  /// (helping the scheduler) until one of the two is certain.
+  bool empty();
+
+  /// Move the next value into dst. Aborts if the queue is definitively
+  /// empty — popping from an empty hyperqueue is a program error.
+  void pop(void* dst);
+
+  /// Contiguous write window (Section 5.2). Returns the slot pointer and
+  /// sets *count to the granted length (>=1; may be less than wanted).
+  /// Elements must be move-constructed into the slots, then committed.
+  void* write_slice(std::uint64_t want, std::uint64_t* count);
+  void commit_write(std::uint64_t produced);
+
+  /// Contiguous read window of up to `want` ready elements. Sets *count to
+  /// the granted length; returns null with *count==0 when the queue is
+  /// definitively empty. Blocks until data or definitive emptiness.
+  void* read_slice(std::uint64_t want, std::uint64_t* count);
+  void commit_read(std::uint64_t consumed);
+
+  // ---- selective sync (Section 5.5) --------------------------------------
+  void sync_children(std::uint8_t priv_filter);
+
+  // ---- introspection (tests / benches) ------------------------------------
+  [[nodiscard]] std::uint64_t segments_allocated() const {
+    return seg_live.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] qattach* owner_attachment() { return owner; }
+  /// Attachment of the calling task (current frame), requiring `need` privs.
+  qattach* my_attachment(std::uint8_t need);
+
+  element_ops ops;
+  const std::uint64_t seg_capacity;
+
+ private:
+  friend struct qattach;
+
+  segment* alloc_segment();
+  void recycle_segment(segment* s);
+
+  /// Early head reduction (Section 4.1): merge the head-only view `tmp`
+  /// with the view immediately preceding `a`'s user view in program order.
+  /// Caller holds mu.
+  void merge_left_early(qattach* a, view tmp);
+
+  /// Live push-privileged tasks earlier in program order than consumer `a`.
+  /// Caller holds mu.
+  long older_pushers(const qattach* a) const;
+
+  /// Make sure `a` holds the queue view, claiming it from ancestors (it is
+  /// in flight back to an ancestor after an older consumer completed).
+  void ensure_queue_view(qattach* a);
+
+  /// Advance the queue view over drained segments; returns the head segment
+  /// if it has readable data, null otherwise.
+  segment* poll_chain(qattach* a);
+
+  /// Block (helping) until data is readable (returns segment) or emptiness
+  /// is definitive (returns null).
+  segment* wait_data(qattach* a);
+
+  std::atomic<long> refs{1};
+  std::mutex mu;
+  qattach* owner = nullptr;
+  std::uint64_t next_nl_id = 1;
+
+  spinlock free_mu;
+  segment* free_list = nullptr;  // chained through segment::next
+  std::atomic<std::uint64_t> seg_live{0};
+};
+
+}  // namespace hq::detail

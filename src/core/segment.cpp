@@ -1,0 +1,28 @@
+#include "core/segment.hpp"
+
+#include <bit>
+#include <new>
+
+namespace hq::detail {
+
+segment* segment::create(std::uint64_t capacity, const element_ops* ops) {
+  assert(capacity >= 2 && std::has_single_bit(capacity));
+  // One allocation: [segment header | padding to element alignment | slots].
+  const std::size_t align = ops->align > alignof(segment) ? ops->align : alignof(segment);
+  const std::size_t header = (sizeof(segment) + align - 1) / align * align;
+  const std::size_t bytes = header + capacity * ops->size;
+  auto* raw = static_cast<std::byte*>(::operator new(bytes, std::align_val_t{align}));
+  return ::new (raw) segment(capacity, ops, raw + header);
+}
+
+void segment::destroy(segment* s) {
+  assert(s->head.load(std::memory_order_relaxed) ==
+             s->tail.load(std::memory_order_relaxed) &&
+         "elements must be destroyed before freeing a segment");
+  const std::size_t align =
+      s->ops->align > alignof(segment) ? s->ops->align : alignof(segment);
+  s->~segment();
+  ::operator delete(static_cast<void*>(s), std::align_val_t{align});
+}
+
+}  // namespace hq::detail

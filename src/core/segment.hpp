@@ -1,0 +1,104 @@
+// Queue segments: fixed-size single-producer single-consumer circular
+// buffers, chained into linked lists (paper Section 3.2).
+//
+// A segment is the unit of storage of a hyperqueue. Monotonic head/tail
+// indices (masked into the power-of-two buffer) let one producer and one
+// consumer share a segment race-free with only acquire/release ordering —
+// invariants 4–6 of the paper guarantee at most one of each per segment.
+// A producer/consumer pair that stays within one segment recycles it
+// indefinitely: zero allocation in steady state.
+#pragma once
+
+#include <atomic>
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+
+namespace hq::detail {
+
+/// How to move and destroy elements of the queue's value type; lets the
+/// entire view/segment machinery be non-templated.
+struct element_ops {
+  std::size_t size = 0;
+  std::size_t align = 0;
+  /// Move-construct *dst from *src. Does NOT destroy src.
+  void (*move_construct)(void* dst, void* src) noexcept = nullptr;
+  void (*destroy)(void* p) noexcept = nullptr;
+};
+
+class segment {
+ public:
+  /// Allocate a segment with `capacity` element slots (must be a power of
+  /// two) in a single allocation.
+  static segment* create(std::uint64_t capacity, const element_ops* ops);
+
+  /// Free the segment's memory. Remaining elements must have been destroyed.
+  static void destroy(segment* s);
+
+  segment(const segment&) = delete;
+  segment& operator=(const segment&) = delete;
+
+  [[nodiscard]] std::uint64_t capacity() const noexcept { return mask + 1; }
+
+  /// Producer: relocate the element at `src` into the segment. Returns false
+  /// when full (caller allocates and links a fresh segment).
+  bool try_push(void* src) noexcept {
+    const std::uint64_t t = tail.load(std::memory_order_relaxed);
+    const std::uint64_t h = head.load(std::memory_order_acquire);
+    if (t - h > mask) return false;
+    ops->move_construct(slot(t), src);
+    tail.store(t + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Consumer: is an element available right now?
+  [[nodiscard]] bool readable() const noexcept {
+    return head.load(std::memory_order_relaxed) < tail.load(std::memory_order_acquire);
+  }
+
+  /// Consumer: move the head element into `dst` and retire the slot.
+  /// Precondition: readable().
+  void pop_into(void* dst) noexcept {
+    const std::uint64_t h = head.load(std::memory_order_relaxed);
+    assert(h < tail.load(std::memory_order_acquire));
+    void* s = slot(h);
+    ops->move_construct(dst, s);
+    ops->destroy(s);
+    head.store(h + 1, std::memory_order_release);
+  }
+
+  /// Destroy all elements still stored (queue teardown; single-threaded).
+  void destroy_remaining() noexcept {
+    std::uint64_t h = head.load(std::memory_order_relaxed);
+    const std::uint64_t t = tail.load(std::memory_order_relaxed);
+    for (; h < t; ++h) ops->destroy(slot(h));
+    head.store(t, std::memory_order_relaxed);
+  }
+
+  /// Reset to pristine state for reuse from the segment free list.
+  void reset() noexcept {
+    assert(head.load(std::memory_order_relaxed) == tail.load(std::memory_order_relaxed));
+    next.store(nullptr, std::memory_order_relaxed);
+    head.store(0, std::memory_order_relaxed);
+    tail.store(0, std::memory_order_relaxed);
+  }
+
+  void* slot(std::uint64_t index) noexcept {
+    return storage_ + (index & mask) * ops->size;
+  }
+
+  std::atomic<segment*> next{nullptr};
+  std::atomic<std::uint64_t> head{0};  // consumer-owned
+  std::atomic<std::uint64_t> tail{0};  // producer-owned
+  const std::uint64_t mask;
+  const element_ops* const ops;
+
+ private:
+  segment(std::uint64_t capacity, const element_ops* o, std::byte* storage)
+      : mask(capacity - 1), ops(o), storage_(storage) {}
+  ~segment() = default;
+
+  std::byte* const storage_;
+};
+
+}  // namespace hq::detail

@@ -1,0 +1,50 @@
+#include "core/view.hpp"
+
+#include <cassert>
+
+namespace hq::detail {
+
+std::pair<view, view> split(view v, std::uint64_t nl_id) noexcept {
+  assert(v.present && v.head_local() && v.tail_local() && v.head == v.tail &&
+         "split is defined on local single-segment views");
+  assert(nl_id != 0);
+  view head_only;
+  head_only.head = v.head;
+  head_only.tail = nullptr;
+  head_only.tail_nl = nl_id;
+  head_only.present = true;
+
+  view tail_only;
+  tail_only.head = nullptr;
+  tail_only.head_nl = nl_id;
+  tail_only.tail = v.tail;
+  tail_only.present = true;
+  return {head_only, tail_only};
+}
+
+void reduce_into(view& left, view&& right) noexcept {
+  if (right.empty()) return;  // reduce(v, ε) = v ; reduce(ε, ε) = ε
+  if (left.empty()) {
+    left = right;
+    right = view{};
+    return;
+  }
+  if (left.tail_nl == 0 && right.head_nl == 0) {
+    // Case 1: both local — concatenate the segment chains.
+    assert(left.tail != nullptr && right.head != nullptr);
+    assert(left.tail->next.load(std::memory_order_relaxed) == nullptr &&
+           "left view's tail must be the end of its chain (invariant 5)");
+    left.tail->next.store(right.head, std::memory_order_release);
+  } else {
+    // Case 2: both non-local — they must be the matching pair created by one
+    // split; the segments are already physically joined.
+    assert(left.tail_nl != 0 && right.head_nl != 0 &&
+           "mixed local/non-local adjacency cannot occur");
+    assert(left.tail_nl == right.head_nl && "non-local pointers must match");
+  }
+  left.tail = right.tail;
+  left.tail_nl = right.tail_nl;
+  right = view{};
+}
+
+}  // namespace hq::detail

@@ -1,0 +1,60 @@
+// Views and the split/reduce algebra (paper Section 3.3).
+//
+// A view is a (head, tail) pair over a linked chain of queue segments. Each
+// side is either *local* (a real segment pointer) or *non-local* (the
+// segment is shared with the logically adjacent view; represented by a null
+// pointer carrying a match id used to check the pairing invariant).
+// The empty view ε is distinct from a view whose two sides are both
+// non-local.
+//
+//   split((s,s))              = ((s, nlX), (nlX, s))         (new id X)
+//   reduce((h1,t1),(h2,t2))   = ((h1,t2), ε)
+//     - t1, h2 local:         link t1->next = h2
+//     - t1, h2 non-local:     ids must match (already linked by the split)
+//   reduce(v, ε) = (v, ε);  reduce(ε, v) = (v, ε)
+#pragma once
+
+#include <cstdint>
+#include <utility>
+
+#include "core/segment.hpp"
+
+namespace hq::detail {
+
+struct view {
+  segment* head = nullptr;   // local head pointer, when head_nl == 0
+  segment* tail = nullptr;   // local tail pointer, when tail_nl == 0
+  std::uint64_t head_nl = 0;  // nonzero: head side is non-local with this id
+  std::uint64_t tail_nl = 0;  // nonzero: tail side is non-local with this id
+  bool present = false;       // false: this is the empty view ε
+
+  [[nodiscard]] bool empty() const noexcept { return !present; }
+  [[nodiscard]] bool head_local() const noexcept { return present && head_nl == 0; }
+  [[nodiscard]] bool tail_local() const noexcept { return present && tail_nl == 0; }
+
+  /// The local view (s, s) on a single segment.
+  static view local(segment* s) noexcept {
+    view v;
+    v.head = s;
+    v.tail = s;
+    v.present = true;
+    return v;
+  }
+
+  /// Detach and return this view's contents, leaving ε behind.
+  view take() noexcept {
+    view v = *this;
+    *this = view{};
+    return v;
+  }
+};
+
+/// Split a local view (s, s) into a head-only and a tail-only view joined by
+/// the fresh non-local id `nl_id`. Returns {head_view, tail_view}.
+std::pair<view, view> split(view v, std::uint64_t nl_id) noexcept;
+
+/// Reduce `right` into `left` in program order; `right` becomes ε.
+/// Aborts (assert) on pairings that the paper proves cannot occur.
+void reduce_into(view& left, view&& right) noexcept;
+
+}  // namespace hq::detail

@@ -1,0 +1,4 @@
+// The pthreads baseline is header-only (templates over item types); this
+// translation unit exists to give the module a home for future non-template
+// helpers and to type-check the header standalone.
+#include "pipeline/pthread_pipeline.hpp"

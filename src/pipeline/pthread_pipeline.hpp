@@ -1,0 +1,94 @@
+// POSIX-threads pipeline baseline (the "Pthreads" model of the evaluation).
+//
+// PARSEC's pthreads versions of ferret and dedup hand-build pipelines as
+// chains of thread pools connected by bounded queues, with explicit reorder
+// logic before serial stages. This module provides those building blocks in
+// the same style:
+//   * stage_pool<In>  — a pool of threads draining a bounded_queue until it
+//                       is closed; the stage body forwards results itself.
+//   * serial_stage<In> — one thread, in arrival order (wrap ordered_commit
+//                       for in-sequence delivery).
+//
+// Note what is *absent* compared to hyperqueues: the programmer wires
+// queues, chooses thread counts per stage (the core-count tuning the paper
+// criticizes), and re-implements ordering by hand.
+#pragma once
+
+#include <cassert>
+#include <functional>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "conc/bounded_queue.hpp"
+#include "conc/ordered_commit.hpp"
+
+namespace hq::pth {
+
+/// A pool of `threads` workers, each looping: pop from `input` until closed
+/// and drained, apply `body`. The body pushes to downstream queues itself.
+template <typename In>
+class stage_pool {
+ public:
+  stage_pool(bounded_queue<In>& input, unsigned threads, std::function<void(In&&)> body)
+      : input_(input), threads_(threads), body_(std::move(body)) {
+    assert(threads_ >= 1);
+  }
+
+  stage_pool(const stage_pool&) = delete;
+  stage_pool& operator=(const stage_pool&) = delete;
+
+  void start() {
+    for (unsigned i = 0; i < threads_; ++i) {
+      pool_.emplace_back([this] {
+        while (auto item = input_.pop()) body_(std::move(*item));
+      });
+    }
+  }
+
+  /// Wait for all worker threads (the input queue must have been closed).
+  void join() {
+    for (auto& t : pool_) t.join();
+    pool_.clear();
+  }
+
+ private:
+  bounded_queue<In>& input_;
+  const unsigned threads_;
+  std::function<void(In&&)> body_;
+  std::vector<std::thread> pool_;
+};
+
+/// One thread that consumes sequence-tagged items in order: upstream stages
+/// call emit(seq, item) from any thread; `body` observes items sorted by
+/// seq with no gaps. Call finish() after all producers completed.
+template <typename In>
+class ordered_serial_stage {
+ public:
+  explicit ordered_serial_stage(std::function<void(In&&)> body)
+      : body_(std::move(body)) {}
+
+  ordered_serial_stage(const ordered_serial_stage&) = delete;
+  ordered_serial_stage& operator=(const ordered_serial_stage&) = delete;
+
+  void start() {
+    worker_ = std::thread([this] {
+      while (auto item = oc_.take_next()) body_(std::move(*item));
+    });
+  }
+
+  void emit(std::uint64_t seq, In item) { oc_.put(seq, std::move(item)); }
+
+  void finish_and_join() {
+    oc_.finish();
+    worker_.join();
+  }
+
+ private:
+  ordered_commit<In> oc_;
+  std::function<void(In&&)> body_;
+  std::thread worker_;
+};
+
+}  // namespace hq::pth

@@ -1,0 +1,116 @@
+#include "pipeline/tbb_pipeline.hpp"
+
+#include <cassert>
+
+namespace hq::tbbpipe {
+
+void pipeline::add_filter(filter_mode mode, std::function<void*(void*)> fn) {
+  filter f;
+  f.mode = mode;
+  f.fn = std::move(fn);
+  filters_.push_back(std::move(f));
+}
+
+void pipeline::run(std::size_t max_tokens, unsigned num_threads) {
+  assert(!filters_.empty());
+  assert(max_tokens >= 1 && num_threads >= 1);
+  max_tokens_ = max_tokens;
+  next_token_seq_ = 0;
+  in_flight_ = 0;
+  input_done_ = false;
+  for (auto& f : filters_) {
+    f.next_seq = 0;
+    f.busy = false;
+    f.parked.clear();
+  }
+  std::vector<std::thread> pool;
+  pool.reserve(num_threads);
+  for (unsigned i = 0; i < num_threads; ++i) {
+    pool.emplace_back([this] { worker_loop(); });
+  }
+  for (auto& t : pool) t.join();
+}
+
+bool pipeline::try_take(token* out) {
+  std::unique_lock<std::mutex> lk(mu_);
+  for (;;) {
+    if (!ready_.empty()) {
+      *out = ready_.front();
+      ready_.pop_front();
+      return true;
+    }
+    // Spawn a new token if the pipeline has capacity and the source filter
+    // is free (the source is serial by definition).
+    filter& src = filters_.front();
+    if (!input_done_ && in_flight_ < max_tokens_ && !src.busy) {
+      src.busy = true;
+      const std::uint64_t seq = next_token_seq_++;
+      ++in_flight_;
+      lk.unlock();
+      void* data = src.fn(nullptr);
+      lk.lock();
+      src.busy = false;
+      src.next_seq = seq + 1;
+      if (data == nullptr) {
+        input_done_ = true;
+        --in_flight_;
+        cv_.notify_all();
+        continue;  // someone else may still have parked work
+      }
+      *out = token{seq, data, 1};
+      cv_.notify_one();  // capacity may allow another token
+      return true;
+    }
+    if (input_done_ && in_flight_ == 0) return false;  // pipeline drained
+    cv_.wait(lk);
+  }
+}
+
+void pipeline::worker_loop() {
+  token tok{};
+  while (try_take(&tok)) {
+    // Carry the token through consecutive filters on this thread until it
+    // retires or parks at a busy serial filter (TBB's filter fusion).
+    bool carrying = true;
+    while (carrying) {
+      if (tok.next_filter >= filters_.size()) {
+        std::lock_guard<std::mutex> lk(mu_);
+        --in_flight_;
+        cv_.notify_all();
+        break;
+      }
+      filter& f = filters_[tok.next_filter];
+      if (f.mode == filter_mode::parallel) {
+        tok.data = f.fn(tok.data);
+        ++tok.next_filter;
+        continue;
+      }
+      // serial_in_order: admit strictly by sequence, one token at a time.
+      {
+        std::unique_lock<std::mutex> lk(mu_);
+        if (f.busy || tok.seq != f.next_seq) {
+          f.parked.emplace(tok.seq, tok.data);
+          carrying = false;  // go find other work
+          break;
+        }
+        f.busy = true;
+      }
+      tok.data = f.fn(tok.data);
+      {
+        std::lock_guard<std::mutex> lk(mu_);
+        f.busy = false;
+        f.next_seq = tok.seq + 1;
+        // Release the successor if it already arrived.
+        auto it = f.parked.find(f.next_seq);
+        if (it != f.parked.end()) {
+          ready_.push_back(token{it->first, it->second, tok.next_filter});
+          f.parked.erase(it);
+          cv_.notify_one();
+        }
+      }
+      ++tok.next_filter;
+    }
+  }
+}
+
+}  // namespace hq::tbbpipe

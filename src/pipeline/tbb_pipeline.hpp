@@ -1,0 +1,87 @@
+// TBB-style token pipeline baseline (the "TBB" model of the evaluation).
+//
+// Reimplements the scheduling of Intel TBB's parallel_pipeline: a bounded
+// number of tokens flows through a chain of filters; parallel filters run
+// any number of tokens concurrently, serial_in_order filters admit tokens
+// strictly in creation order, one at a time; a worker carries its token
+// through consecutive filters (filter fusion) to preserve locality.
+// The token bound is the knob that must be tuned to the machine — the
+// scale-freedom critique of the paper (Section 7.1).
+//
+// The engine is type-erased (void* items); make_filter() adds a typed shim.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace hq::tbbpipe {
+
+enum class filter_mode { serial_in_order, parallel };
+
+/// A token pipeline. Add filters first-to-last, then run().
+/// The first filter is the source: it is invoked with nullptr and returns
+/// a new item, or nullptr for end-of-input. The last filter's return value
+/// is ignored (conventionally nullptr).
+class pipeline {
+ public:
+  pipeline() = default;
+  pipeline(const pipeline&) = delete;
+  pipeline& operator=(const pipeline&) = delete;
+
+  void add_filter(filter_mode mode, std::function<void*(void*)> fn);
+
+  /// Execute until the source is exhausted and all tokens retired.
+  /// @param max_tokens maximum tokens in flight (TBB's pipeline capacity)
+  /// @param num_threads worker thread count
+  void run(std::size_t max_tokens, unsigned num_threads);
+
+ private:
+  struct filter {
+    filter_mode mode;
+    std::function<void*(void*)> fn;
+    // serial_in_order state:
+    std::uint64_t next_seq = 0;
+    bool busy = false;
+    std::map<std::uint64_t, void*> parked;  // seq -> item waiting to enter
+  };
+
+  struct token {
+    std::uint64_t seq;
+    void* data;
+    std::size_t next_filter;
+  };
+
+  void worker_loop();
+  bool try_take(token* out);
+
+  std::vector<filter> filters_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<token> ready_;
+  std::uint64_t next_token_seq_ = 0;
+  std::size_t in_flight_ = 0;
+  std::size_t max_tokens_ = 1;
+  bool input_done_ = false;
+};
+
+/// Typed filter shim: wraps In* -> Out* functions over the void* engine.
+/// Ownership convention: items are heap-allocated; each filter consumes its
+/// input and returns its output.
+template <typename In, typename Out, typename F>
+std::function<void*(void*)> make_filter(F fn) {
+  return [fn = std::move(fn)](void* p) -> void* {
+    std::unique_ptr<In> in(static_cast<In*>(p));
+    std::unique_ptr<Out> out = fn(std::move(in));
+    return out.release();
+  };
+}
+
+}  // namespace hq::tbbpipe

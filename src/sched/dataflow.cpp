@@ -1,0 +1,50 @@
+#include "sched/dataflow.hpp"
+
+namespace hq::detail {
+
+// Register a completion hook that removes `fr` from this tracker before the
+// frame is deleted, so the reader/writer lists never dangle. The hook holds
+// a shared_ptr to the tracker: trackers outlive all registered frames even
+// if the versioned<T> variable goes out of scope first.
+void obj_tracker::watch(task_frame* fr) {
+  fr->completion_hooks.push_back(std::function<void()>(
+      [self = shared_from_this(), fr] { self->remove_task(fr); }));
+}
+
+void obj_tracker::remove_task(task_frame* fr) {
+  std::lock_guard<spinlock> lk(mu_);
+  if (writer_ == fr) writer_ = nullptr;
+  readers_.erase_value(fr);
+}
+
+std::shared_ptr<void> obj_tracker::acquire_read(task_frame* fr) {
+  std::lock_guard<spinlock> lk(mu_);
+  if (writer_ != nullptr) task_frame::depend(fr, writer_);
+  readers_.push_back(fr);
+  watch(fr);
+  return payload_;
+}
+
+std::shared_ptr<void> obj_tracker::acquire_readwrite(task_frame* fr) {
+  std::lock_guard<spinlock> lk(mu_);
+  if (writer_ != nullptr) task_frame::depend(fr, writer_);
+  for (task_frame* r : readers_) task_frame::depend(fr, r);
+  readers_.clear();
+  writer_ = fr;
+  watch(fr);
+  return payload_;
+}
+
+std::shared_ptr<void> obj_tracker::acquire_write(task_frame* fr,
+                                                 std::shared_ptr<void> fresh) {
+  std::lock_guard<spinlock> lk(mu_);
+  // Renaming: older readers/writer keep their version alive through their
+  // own payload references; dependences on them are unnecessary.
+  payload_ = std::move(fresh);
+  readers_.clear();
+  writer_ = fr;
+  watch(fr);
+  return payload_;
+}
+
+}  // namespace hq::detail

@@ -1,0 +1,175 @@
+// Task dataflow on versioned objects (the paper's baseline "objects" model,
+// Figure 1; semantics follow Swan [Vandierendonck et al., PACT'11]).
+//
+// A versioned<T> tracks reader/writer dependences between the tasks it is
+// passed to:
+//   indep<T>     — read-only:   runs after the last writer.
+//   inoutdep<T>  — read-write:  runs after the last writer and all readers.
+//   outdep<T>    — write-only:  *renames* — a fresh version of the object is
+//                  created so the task starts immediately; this is the
+//                  automatic memory management that breaks WAR/WAW
+//                  dependences and enables pipeline parallelism in Fig. 1.
+//
+// Versions are reference counted; old versions stay alive while tasks hold
+// them. Nested use follows the subset-privilege rule: passing an already
+// resolved wrapper to a child task shares the parent's version without
+// re-registering (the parent's own registration outlives its children
+// because of the implicit sync).
+#pragma once
+
+#include <cassert>
+#include <memory>
+#include <utility>
+
+#include "conc/inline_vec.hpp"
+#include "conc/spinlock.hpp"
+#include "sched/task.hpp"
+
+namespace hq {
+
+namespace detail {
+
+/// Type-erased reader/writer dependence tracker for one versioned object.
+class obj_tracker : public std::enable_shared_from_this<obj_tracker> {
+ public:
+  explicit obj_tracker(std::shared_ptr<void> initial_payload)
+      : payload_(std::move(initial_payload)) {}
+
+  /// Register `fr` as a reader of the current version; returns the version
+  /// payload the task must use.
+  std::shared_ptr<void> acquire_read(task_frame* fr);
+
+  /// Register `fr` as the next exclusive writer of the current version
+  /// (serializes after the current writer and all readers).
+  std::shared_ptr<void> acquire_readwrite(task_frame* fr);
+
+  /// Rename: install `fresh` as the new current version with `fr` as its
+  /// writer; no dependences are created.
+  std::shared_ptr<void> acquire_write(task_frame* fr, std::shared_ptr<void> fresh);
+
+  /// Current version payload; only race-free for the owner after sync().
+  [[nodiscard]] std::shared_ptr<void> payload() const {
+    std::lock_guard<spinlock> lk(mu_);
+    return payload_;
+  }
+
+ private:
+  void remove_task(task_frame* fr);
+  void watch(task_frame* fr);
+
+  mutable spinlock mu_;
+  std::shared_ptr<void> payload_;
+  task_frame* writer_ = nullptr;           // last writer, while live
+  inline_vec<task_frame*, 4> readers_;     // live readers since last write
+};
+
+}  // namespace detail
+
+template <typename T>
+class indep;
+template <typename T>
+class outdep;
+template <typename T>
+class inoutdep;
+
+/// A program variable with runtime dependence tracking (paper Figure 1's
+/// `versioned<T>`). Pass to spawn() cast to indep/outdep/inoutdep.
+template <typename T>
+class versioned {
+ public:
+  versioned() : tr_(std::make_shared<detail::obj_tracker>(std::make_shared<T>())) {}
+  explicit versioned(T initial)
+      : tr_(std::make_shared<detail::obj_tracker>(std::make_shared<T>(std::move(initial)))) {}
+
+  /// Owner access to the current version; call only when no tasks are in
+  /// flight on this object (i.e., after sync()).
+  T& get() { return *static_cast<T*>(tr_->payload().get()); }
+  const T& get() const { return *static_cast<const T*>(tr_->payload().get()); }
+
+  operator indep<T>() const { return indep<T>(tr_); }        // NOLINT
+  operator outdep<T>() const { return outdep<T>(tr_); }      // NOLINT
+  operator inoutdep<T>() const { return inoutdep<T>(tr_); }  // NOLINT
+
+ private:
+  std::shared_ptr<detail::obj_tracker> tr_;
+};
+
+/// Read-only access mode. Usable as a value inside the task (get / * / ->).
+template <typename T>
+class indep {
+ public:
+  explicit indep(std::shared_ptr<detail::obj_tracker> tr) : tr_(std::move(tr)) {}
+
+  const T& get() const {
+    assert(payload_ && "indep used before spawn resolution");
+    return *static_cast<const T*>(payload_.get());
+  }
+  const T& operator*() const { return get(); }
+  const T* operator->() const { return &get(); }
+
+  /// Spawn-time resolution (see sched/spawn.hpp). Already-resolved wrappers
+  /// are passed through: children share the parent's version under the
+  /// parent's registration (subset privileges).
+  indep hq_dep_resolve(detail::task_frame* fr) const {
+    if (payload_) return *this;
+    indep r(tr_);
+    r.payload_ = tr_->acquire_read(fr);
+    return r;
+  }
+
+ private:
+  std::shared_ptr<detail::obj_tracker> tr_;
+  std::shared_ptr<void> payload_;
+};
+
+/// Write-only access mode; spawning with outdep renames the object.
+template <typename T>
+class outdep {
+ public:
+  explicit outdep(std::shared_ptr<detail::obj_tracker> tr) : tr_(std::move(tr)) {}
+
+  T& get() const {
+    assert(payload_ && "outdep used before spawn resolution");
+    return *static_cast<T*>(payload_.get());
+  }
+  T& operator*() const { return get(); }
+  T* operator->() const { return &get(); }
+
+  outdep hq_dep_resolve(detail::task_frame* fr) const {
+    if (payload_) return *this;
+    outdep r(tr_);
+    r.payload_ = tr_->acquire_write(fr, std::make_shared<T>());
+    return r;
+  }
+
+ private:
+  std::shared_ptr<detail::obj_tracker> tr_;
+  std::shared_ptr<void> payload_;
+};
+
+/// Read-write access mode; serializes with all prior accesses.
+template <typename T>
+class inoutdep {
+ public:
+  explicit inoutdep(std::shared_ptr<detail::obj_tracker> tr) : tr_(std::move(tr)) {}
+
+  T& get() const {
+    assert(payload_ && "inoutdep used before spawn resolution");
+    return *static_cast<T*>(payload_.get());
+  }
+  T& operator*() const { return get(); }
+  T* operator->() const { return &get(); }
+
+  inoutdep hq_dep_resolve(detail::task_frame* fr) const {
+    if (payload_) return *this;
+    inoutdep r(tr_);
+    r.payload_ = tr_->acquire_readwrite(fr);
+    return r;
+  }
+
+ private:
+  std::shared_ptr<detail::obj_tracker> tr_;
+  std::shared_ptr<void> payload_;
+};
+
+}  // namespace hq

@@ -1,0 +1,235 @@
+#include "sched/scheduler.hpp"
+
+#include <cassert>
+#include <chrono>
+#include <random>
+
+namespace hq {
+
+namespace detail {
+
+thread_local worker_ctx* t_worker = nullptr;
+
+task_frame* current_frame() noexcept {
+  return t_worker ? t_worker->current : nullptr;
+}
+
+}  // namespace detail
+
+using detail::task_frame;
+using detail::worker_ctx;
+
+scheduler* scheduler::current() noexcept {
+  return detail::t_worker ? detail::t_worker->sched : nullptr;
+}
+
+scheduler::scheduler(unsigned num_workers) {
+  if (num_workers == 0) {
+    num_workers = std::max(1u, std::thread::hardware_concurrency());
+  }
+  workers_.reserve(num_workers);
+  std::mt19937_64 seed_rng(0x9e3779b97f4a7c15ull);
+  for (unsigned i = 0; i < num_workers; ++i) {
+    auto w = std::make_unique<worker_ctx>();
+    w->sched = this;
+    w->index = i;
+    w->rng = seed_rng();
+    workers_.push_back(std::move(w));
+  }
+  threads_.reserve(num_workers);
+  for (unsigned i = 0; i < num_workers; ++i) {
+    threads_.emplace_back([this, i] { worker_main(i); });
+  }
+}
+
+scheduler::~scheduler() {
+  stop_.store(true, std::memory_order_release);
+  work_epoch_.fetch_add(1, std::memory_order_release);
+  idle_cv_.notify_all();
+  for (auto& t : threads_) t.join();
+  assert(injector_.empty() && "scheduler destroyed with pending tasks");
+}
+
+void scheduler::run_root(task_fn fn) {
+  assert(detail::t_worker == nullptr &&
+         "run() must not be called from inside a task; use spawn()");
+  {
+    std::lock_guard<std::mutex> lk(done_mu_);
+    root_done_ = false;
+  }
+  auto* root = new task_frame(this, nullptr);
+  root->fn = std::move(fn);
+  root->completion_hooks.push_back(std::function<void()>([this] {
+    {
+      std::lock_guard<std::mutex> lk(done_mu_);
+      root_done_ = true;
+    }
+    done_cv_.notify_all();
+  }));
+  // Release the spawn guard: the root has no dependences.
+  if (root->pending_deps.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+    enqueue(root);
+  }
+  std::unique_lock<std::mutex> lk(done_mu_);
+  done_cv_.wait(lk, [&] { return root_done_; });
+}
+
+void scheduler::enqueue(task_frame* t) {
+  assert(t->sched == this);
+  worker_ctx* w = detail::t_worker;
+  if (w != nullptr && w->sched == this) {
+    w->deque.push_bottom(t);
+  } else {
+    std::lock_guard<std::mutex> lk(inj_mu_);
+    injector_.push_back(t);
+  }
+  work_epoch_.fetch_add(1, std::memory_order_release);
+  wake_idle();
+}
+
+void scheduler::wake_idle() {
+  if (num_idle_.load(std::memory_order_acquire) > 0) {
+    idle_cv_.notify_one();
+  }
+}
+
+task_frame* scheduler::try_steal(worker_ctx& w) {
+  const unsigned n = static_cast<unsigned>(workers_.size());
+  if (n <= 1) return nullptr;
+  // xorshift for victim selection; two sweeps over all other workers.
+  for (unsigned round = 0; round < 2 * n; ++round) {
+    w.rng ^= w.rng << 13;
+    w.rng ^= w.rng >> 7;
+    w.rng ^= w.rng << 17;
+    unsigned victim = static_cast<unsigned>(w.rng % n);
+    if (victim == w.index) victim = (victim + 1) % n;
+    st_steal_attempts_.fetch_add(1, std::memory_order_relaxed);
+    if (task_frame* t = workers_[victim]->deque.steal()) {
+      st_steals_.fetch_add(1, std::memory_order_relaxed);
+      return t;
+    }
+  }
+  return nullptr;
+}
+
+task_frame* scheduler::find_task(worker_ctx& w) {
+  if (task_frame* t = w.deque.pop_bottom()) return t;
+  if (task_frame* t = try_steal(w)) return t;
+  {
+    std::lock_guard<std::mutex> lk(inj_mu_);
+    if (!injector_.empty()) {
+      task_frame* t = injector_.front();
+      injector_.pop_front();
+      return t;
+    }
+  }
+  return nullptr;
+}
+
+bool scheduler::help_one() {
+  worker_ctx* w = detail::t_worker;
+  if (w == nullptr || w->sched != this) return false;
+  task_frame* t = find_task(*w);
+  if (t == nullptr) return false;
+  st_helps_.fetch_add(1, std::memory_order_relaxed);
+  execute(t);
+  return true;
+}
+
+void scheduler::execute(task_frame* t) {
+  worker_ctx* w = detail::t_worker;
+  assert(w != nullptr);
+  task_frame* prev = w->current;
+  w->current = t;
+  st_executed_.fetch_add(1, std::memory_order_relaxed);
+
+  t->fn();
+  // Implicit sync: a task returns only once all its children completed
+  // (Cilk semantics; required for the hyperqueue view cascade, which merges
+  // children views bottom-up).
+  wait_until([t] { return t->live_children.load(std::memory_order_acquire) == 0; });
+  t->fn.reset();
+  finish(t);
+  w->current = prev;
+}
+
+void scheduler::finish(task_frame* t) {
+  // 1. Completion hooks: deregister from object trackers, reduce hyperqueue
+  //    views into the left sibling / parent (core/queue_cb.cpp).
+  for (auto& hook : t->completion_hooks) hook();
+  t->completion_hooks.clear();
+
+  // 2. Mark completed and collect dependents; no new dependents can be added
+  //    past this point (task_frame::add_dependent checks the flag).
+  {
+    std::lock_guard<spinlock> lk(t->dep_mu);
+    t->completed = true;
+  }
+  for (task_frame* d : t->dependents) satisfy(d);
+  t->dependents.clear();
+
+  // 3. Notify the parent's join counter last, so that a parent passing its
+  //    sync observes all effects of this child.
+  task_frame* parent = t->parent;
+  delete t;
+  if (parent != nullptr) {
+    parent->live_children.fetch_sub(1, std::memory_order_release);
+  }
+}
+
+void scheduler::satisfy(task_frame* t) {
+  if (t->pending_deps.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+    enqueue(t);
+  }
+}
+
+void scheduler::worker_main(unsigned index) {
+  worker_ctx* w = workers_[index].get();
+  detail::t_worker = w;
+  backoff bo;
+  while (true) {
+    const std::uint64_t epoch = work_epoch_.load(std::memory_order_acquire);
+    if (stop_.load(std::memory_order_acquire)) break;
+    if (task_frame* t = find_task(*w)) {
+      execute(t);
+      bo.reset();
+      continue;
+    }
+    bo.pause();
+    if (bo.is_yielding()) {
+      // Park until new work is enqueued (epoch moves) or shutdown. The
+      // timeout is a safety net against the benign snapshot race in
+      // find_task/steal; it bounds any stall to one period.
+      std::unique_lock<std::mutex> lk(idle_mu_);
+      num_idle_.fetch_add(1, std::memory_order_release);
+      idle_cv_.wait_for(lk, std::chrono::milliseconds(10), [&] {
+        return stop_.load(std::memory_order_acquire) ||
+               work_epoch_.load(std::memory_order_acquire) != epoch;
+      });
+      num_idle_.fetch_sub(1, std::memory_order_release);
+    }
+  }
+  detail::t_worker = nullptr;
+}
+
+scheduler::stats_t scheduler::stats() const {
+  stats_t s;
+  s.spawns = st_spawns_.load(std::memory_order_relaxed);
+  s.executed = st_executed_.load(std::memory_order_relaxed);
+  s.steals = st_steals_.load(std::memory_order_relaxed);
+  s.steal_attempts = st_steal_attempts_.load(std::memory_order_relaxed);
+  s.helps = st_helps_.load(std::memory_order_relaxed);
+  return s;
+}
+
+void scheduler::reset_stats() {
+  st_spawns_.store(0, std::memory_order_relaxed);
+  st_executed_.store(0, std::memory_order_relaxed);
+  st_steals_.store(0, std::memory_order_relaxed);
+  st_steal_attempts_.store(0, std::memory_order_relaxed);
+  st_helps_.store(0, std::memory_order_relaxed);
+}
+
+void scheduler::count_spawn() { st_spawns_.fetch_add(1, std::memory_order_relaxed); }
+
+}  // namespace hq

@@ -1,0 +1,135 @@
+// Work-stealing task scheduler (the Swan-style substrate of the paper).
+//
+// Help-first spawning: spawn() enqueues the child on the calling worker's
+// Chase–Lev deque and the parent continues; idle workers steal oldest-first.
+// All waiting primitives (sync, blocking hyperqueue operations) re-enter the
+// scheduler through help_one()/wait_until(), so a "blocked" worker keeps
+// executing ready tasks — this realizes the paper's block-the-worker policy
+// (Section 4.5) without losing progress, and makes single-worker execution
+// of pipelines deadlock-free.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "conc/backoff.hpp"
+#include "conc/chase_lev_deque.hpp"
+#include "sched/task.hpp"
+#include "sched/task_fn.hpp"
+
+namespace hq {
+
+namespace detail {
+
+struct worker_ctx {
+  scheduler* sched = nullptr;
+  unsigned index = 0;
+  chase_lev_deque<task_frame> deque;
+  std::uint64_t rng = 0;
+  task_frame* current = nullptr;
+};
+
+}  // namespace detail
+
+/// Work-stealing scheduler over a fixed pool of worker threads. Construct
+/// once, call run() any number of times (serially) — workers park in between.
+class scheduler {
+ public:
+  /// @param num_workers worker thread count (>=1); this is the paper's "core
+  /// count" knob. Defaults to hardware concurrency.
+  explicit scheduler(unsigned num_workers = 0);
+  ~scheduler();
+
+  scheduler(const scheduler&) = delete;
+  scheduler& operator=(const scheduler&) = delete;
+
+  /// Execute `f` as the root task and block until it (and all transitively
+  /// spawned tasks) complete. Must not be called from inside a task.
+  template <typename F>
+  void run(F&& f) {
+    run_root(task_fn(std::forward<F>(f)));
+  }
+
+  [[nodiscard]] unsigned num_workers() const noexcept {
+    return static_cast<unsigned>(workers_.size());
+  }
+
+  /// Scheduler of the calling worker thread (null on external threads).
+  static scheduler* current() noexcept;
+
+  /// Monotonic event counters, for the overhead benches.
+  struct stats_t {
+    std::uint64_t spawns = 0;
+    std::uint64_t executed = 0;
+    std::uint64_t steals = 0;
+    std::uint64_t steal_attempts = 0;
+    std::uint64_t helps = 0;  // tasks executed inside a wait
+  };
+  [[nodiscard]] stats_t stats() const;
+  void reset_stats();
+  void count_spawn();
+
+  // ------------- internal API (spawn/sync/hyperqueue machinery) -----------
+
+  /// Make a ready frame available for execution.
+  void enqueue(detail::task_frame* t);
+
+  /// Execute one ready task if any is available. Returns false when no task
+  /// could be obtained (the caller should back off).
+  bool help_one();
+
+  /// Help-while-blocked wait: run ready tasks until `p()` holds.
+  template <typename Pred>
+  void wait_until(Pred&& p) {
+    backoff bo;
+    while (!p()) {
+      if (help_one()) {
+        bo.reset();
+      } else {
+        bo.pause();
+      }
+    }
+  }
+
+ private:
+  friend struct detail::worker_ctx;
+
+  void run_root(task_fn fn);
+  void worker_main(unsigned index);
+  detail::task_frame* find_task(detail::worker_ctx& w);
+  detail::task_frame* try_steal(detail::worker_ctx& w);
+  void execute(detail::task_frame* t);
+  void finish(detail::task_frame* t);
+  void satisfy(detail::task_frame* t);
+  void wake_idle();
+
+  std::vector<std::unique_ptr<detail::worker_ctx>> workers_;
+  std::vector<std::thread> threads_;
+
+  // External / overflow submission channel.
+  std::mutex inj_mu_;
+  std::deque<detail::task_frame*> injector_;
+
+  // Idle-worker parking.
+  std::mutex idle_mu_;
+  std::condition_variable idle_cv_;
+  std::atomic<int> num_idle_{0};
+  std::atomic<std::uint64_t> work_epoch_{0};
+  std::atomic<bool> stop_{false};
+
+  // Root-completion signalling for run().
+  std::mutex done_mu_;
+  std::condition_variable done_cv_;
+  bool root_done_ = false;
+
+  std::atomic<std::uint64_t> st_spawns_{0}, st_executed_{0}, st_steals_{0},
+      st_steal_attempts_{0}, st_helps_{0};
+};
+
+}  // namespace hq

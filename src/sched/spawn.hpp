@@ -1,0 +1,113 @@
+// spawn / sync / call — the task-parallel surface of the runtime.
+//
+// Mirrors the paper's programming model (Figures 1 and 2):
+//
+//   hq::scheduler sched(P);
+//   sched.run([&] {
+//     hq::hyperqueue<data> queue;
+//     hq::spawn(producer, (hq::pushdep<data>)queue, 0, total);
+//     hq::spawn(consumer, (hq::popdep<data>)queue);
+//     hq::sync();
+//   });
+//
+// Arguments are captured by value. Dependency wrappers (pushdep/popdep/
+// pushpopdep, indep/outdep/inoutdep) expose hq_dep_resolve(frame*), which
+// spawn() calls at spawn time to register scheduling dependences and
+// transfer hyperqueue views in program order.
+#pragma once
+
+#include <cassert>
+#include <tuple>
+#include <type_traits>
+#include <utility>
+
+#include "sched/scheduler.hpp"
+#include "sched/task.hpp"
+
+namespace hq {
+
+namespace detail {
+
+/// Resolve one spawn argument: dependency wrappers register themselves on
+/// the child frame; plain values pass through unchanged.
+template <typename A>
+auto resolve_spawn_arg(task_frame* fr, A&& a) {
+  if constexpr (requires { std::forward<A>(a).hq_dep_resolve(fr); }) {
+    return std::forward<A>(a).hq_dep_resolve(fr);
+  } else {
+    return std::decay_t<A>(std::forward<A>(a));
+  }
+}
+
+/// Create a child frame with the closure bound and dependences registered,
+/// but the spawn guard still held. Callers must launch() it.
+template <typename F, typename... Args>
+task_frame* make_task(F&& f, Args&&... args) {
+  worker_ctx* w = t_worker;
+  assert(w != nullptr && w->current != nullptr &&
+         "spawn() is only valid inside a task (use scheduler::run for the root)");
+  task_frame* parent = w->current;
+  auto* fr = new task_frame(w->sched, parent);
+  parent->live_children.fetch_add(1, std::memory_order_relaxed);
+  // Build the argument tuple; wrapper resolution registers dependences and
+  // performs hyperqueue view transfers for this spawn.
+  auto bound = std::tuple(resolve_spawn_arg(fr, std::forward<Args>(args))...);
+  fr->fn = task_fn(
+      [func = std::decay_t<F>(std::forward<F>(f)), tup = std::move(bound)]() mutable {
+        std::apply(func, std::move(tup));
+      });
+  w->sched->count_spawn();
+  return fr;
+}
+
+/// Release the spawn guard: the frame becomes ready once all registered
+/// dependences are satisfied.
+inline void launch(task_frame* fr) {
+  if (fr->pending_deps.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+    fr->sched->enqueue(fr);
+  }
+}
+
+}  // namespace detail
+
+/// Spawn `f(args...)` as a child task that may run in parallel with the
+/// continuation of the calling task.
+template <typename F, typename... Args>
+void spawn(F&& f, Args&&... args) {
+  detail::launch(detail::make_task(std::forward<F>(f), std::forward<Args>(args)...));
+}
+
+/// Wait until all children spawned by the calling task have completed.
+/// The worker helps execute ready tasks while waiting.
+inline void sync() {
+  detail::worker_ctx* w = detail::t_worker;
+  assert(w != nullptr && w->current != nullptr && "sync() outside a task");
+  detail::task_frame* f = w->current;
+  w->sched->wait_until(
+      [f] { return f->live_children.load(std::memory_order_acquire) == 0; });
+}
+
+/// Call `f(args...)` through the task machinery and wait for it (paper
+/// Section 4.2 treats calls like spawns for hyperqueue purposes). The callee
+/// still respects its scheduling dependences.
+template <typename F, typename... Args>
+void call(F&& f, Args&&... args) {
+  detail::worker_ctx* w = detail::t_worker;
+  assert(w != nullptr && w->current != nullptr && "call() outside a task");
+  detail::task_frame* fr =
+      detail::make_task(std::forward<F>(f), std::forward<Args>(args)...);
+  auto done = std::make_shared<std::atomic<bool>>(false);
+  fr->completion_hooks.push_back(std::function<void()>(
+      [done] { done->store(true, std::memory_order_release); }));
+  detail::launch(fr);
+  w->sched->wait_until([&] { return done->load(std::memory_order_acquire); });
+}
+
+/// Number of workers of the scheduler executing the calling task (1 when
+/// called outside any scheduler).
+inline unsigned workers() {
+  scheduler* s = scheduler::current();
+  return s ? s->num_workers() : 1u;
+}
+
+}  // namespace hq

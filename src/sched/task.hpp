@@ -1,0 +1,91 @@
+// Task frames: the per-spawn bookkeeping record of the runtime.
+//
+// A frame exists from spawn until completion. It carries the closure, the
+// join counter for the implicit sync at task return, the dataflow dependency
+// state (pending-dependency counter plus the list of dependents to notify),
+// completion hooks (used by versioned-object trackers and hyperqueue view
+// reduction), and the per-queue attachments.
+#pragma once
+
+#include <atomic>
+#include <cassert>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+
+#include "conc/inline_vec.hpp"
+#include "conc/spinlock.hpp"
+#include "sched/task_fn.hpp"
+
+namespace hq {
+
+class scheduler;
+
+namespace detail {
+
+struct qattach;  // defined in core/queue_cb.hpp
+
+struct task_frame {
+  task_frame(scheduler* s, task_frame* p)
+      : sched(s), parent(p), depth(p ? p->depth + 1 : 0) {}
+
+  task_frame(const task_frame&) = delete;
+  task_frame& operator=(const task_frame&) = delete;
+
+  scheduler* const sched;
+  task_frame* const parent;
+  const unsigned depth;
+
+  task_fn fn;
+
+  /// Children spawned and not yet completed; sync() waits for zero.
+  std::atomic<std::uint32_t> live_children{0};
+
+  /// Unsatisfied scheduling dependences plus one "spawn guard" that is
+  /// released once argument registration finishes; the frame becomes ready
+  /// when this reaches zero.
+  std::atomic<std::int32_t> pending_deps{1};
+
+  /// Frames whose pending_deps must be decremented when this one completes.
+  /// Guarded by dep_mu together with `completed`.
+  spinlock dep_mu;
+  bool completed = false;
+  inline_vec<task_frame*, 4> dependents;
+
+  /// Actions run at completion (after the implicit sync, before dependents
+  /// are notified): tracker deregistration, hyperqueue view reduction.
+  inline_vec<std::function<void()>, 4> completion_hooks;
+
+  /// Hyperqueue attachments of this task (owned by the queue control block).
+  inline_vec<qattach*, 2> attachments;
+
+  /// Register `d` as waiting on this frame. Returns false when this frame
+  /// already completed (no dependence needed). The caller must have bumped
+  /// d->pending_deps beforehand and must undo it on false.
+  bool add_dependent(task_frame* d) {
+    std::lock_guard<spinlock> lk(dep_mu);
+    if (completed) return false;
+    dependents.push_back(d);
+    return true;
+  }
+
+  /// Add a dependence of `succ` on `pred` (no-op when pred already done).
+  static void depend(task_frame* succ, task_frame* pred) {
+    assert(succ != pred);
+    succ->pending_deps.fetch_add(1, std::memory_order_relaxed);
+    if (!pred->add_dependent(succ)) {
+      succ->pending_deps.fetch_sub(1, std::memory_order_relaxed);
+    }
+  }
+};
+
+/// Per-thread worker context; null on threads that are not scheduler workers.
+struct worker_ctx;
+extern thread_local worker_ctx* t_worker;
+
+/// The frame of the task currently executing on this thread (null outside
+/// task context).
+task_frame* current_frame() noexcept;
+
+}  // namespace detail
+}  // namespace hq

@@ -1,0 +1,104 @@
+// Type-erased nullary task closure with small-buffer optimization.
+//
+// Every spawned task's body (user function + bound arguments) is stored in a
+// task_fn inside the task frame. Closures up to kInlineBytes live inline in
+// the frame allocation; larger ones take one extra heap allocation.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace hq {
+
+/// Move-only `void()` callable wrapper tuned for task frames.
+class task_fn {
+ public:
+  static constexpr std::size_t kInlineBytes = 120;
+
+  task_fn() = default;
+
+  template <typename F,
+            typename = std::enable_if_t<!std::is_same_v<std::decay_t<F>, task_fn>>>
+  task_fn(F&& f) {  // NOLINT(google-explicit-constructor): mirrors std::function
+    using Fn = std::decay_t<F>;
+    static_assert(std::is_invocable_r_v<void, Fn&>, "task body must be callable as void()");
+    if constexpr (sizeof(Fn) <= kInlineBytes && alignof(Fn) <= alignof(std::max_align_t) &&
+                  std::is_nothrow_move_constructible_v<Fn>) {
+      ::new (static_cast<void*>(buf_)) Fn(std::forward<F>(f));
+      vt_ = &vtable_inline<Fn>;
+    } else {
+      ::new (static_cast<void*>(buf_)) Fn*(new Fn(std::forward<F>(f)));
+      vt_ = &vtable_heap<Fn>;
+    }
+  }
+
+  task_fn(task_fn&& other) noexcept { move_from(std::move(other)); }
+
+  task_fn& operator=(task_fn&& other) noexcept {
+    if (this != &other) {
+      reset();
+      move_from(std::move(other));
+    }
+    return *this;
+  }
+
+  task_fn(const task_fn&) = delete;
+  task_fn& operator=(const task_fn&) = delete;
+
+  ~task_fn() { reset(); }
+
+  /// Invoke the stored closure. Must not be empty.
+  void operator()() { vt_->invoke(buf_); }
+
+  explicit operator bool() const noexcept { return vt_ != nullptr; }
+
+  void reset() noexcept {
+    if (vt_) {
+      vt_->destroy(buf_);
+      vt_ = nullptr;
+    }
+  }
+
+ private:
+  struct vtable {
+    void (*invoke)(void*);
+    void (*destroy)(void*) noexcept;
+    void (*relocate)(void* dst, void* src) noexcept;  // move + destroy src
+  };
+
+  template <typename Fn>
+  static constexpr vtable vtable_inline = {
+      [](void* p) { (*std::launder(static_cast<Fn*>(p)))(); },
+      [](void* p) noexcept { std::launder(static_cast<Fn*>(p))->~Fn(); },
+      [](void* dst, void* src) noexcept {
+        Fn* s = std::launder(static_cast<Fn*>(src));
+        ::new (dst) Fn(std::move(*s));
+        s->~Fn();
+      },
+  };
+
+  template <typename Fn>
+  static constexpr vtable vtable_heap = {
+      [](void* p) { (**std::launder(static_cast<Fn**>(p)))(); },
+      [](void* p) noexcept { delete *std::launder(static_cast<Fn**>(p)); },
+      [](void* dst, void* src) noexcept {
+        ::new (dst) Fn*(*std::launder(static_cast<Fn**>(src)));
+      },
+  };
+
+  void move_from(task_fn&& other) noexcept {
+    vt_ = other.vt_;
+    if (vt_) {
+      vt_->relocate(buf_, other.buf_);
+      other.vt_ = nullptr;
+    }
+  }
+
+  const vtable* vt_ = nullptr;
+  alignas(std::max_align_t) unsigned char buf_[kInlineBytes];
+};
+
+}  // namespace hq

@@ -1,0 +1,169 @@
+#include "util/bwt.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <numeric>
+#include <stdexcept>
+
+namespace hq::util {
+
+bwt_result bwt_forward(const std::uint8_t* data, std::size_t len) {
+  bwt_result r;
+  r.primary_index = 0;
+  if (len == 0) return r;
+  const std::size_t n = len;
+
+  // Prefix doubling over circular rotations with radix (counting) sorts:
+  // O(n log n). rank[i] is the sort key of the rotation starting at i,
+  // refined from k-character to 2k-character context each round.
+  std::vector<std::uint32_t> rank(n), new_rank(n);
+  std::vector<std::uint32_t> order(n), tmp(n);
+  std::vector<std::uint32_t> cnt(std::max<std::size_t>(n + 1, 256));
+
+  // Round 0: counting sort by first byte.
+  std::fill(cnt.begin(), cnt.begin() + 257, 0u);
+  for (std::size_t i = 0; i < n; ++i) cnt[data[i] + 1]++;
+  for (int c = 1; c <= 256; ++c) cnt[static_cast<std::size_t>(c)] +=
+      cnt[static_cast<std::size_t>(c) - 1];
+  for (std::size_t i = 0; i < n; ++i) order[cnt[data[i]]++] = static_cast<std::uint32_t>(i);
+  rank[order[0]] = 0;
+  for (std::size_t i = 1; i < n; ++i) {
+    rank[order[i]] = rank[order[i - 1]] + (data[order[i]] != data[order[i - 1]] ? 1u : 0u);
+  }
+
+  for (std::size_t k = 1; k < n; k <<= 1) {
+    if (rank[order[n - 1]] == n - 1) break;  // all ranks distinct
+    // Sort by second key: shifting the current order by -k (circular) yields
+    // an enumeration already sorted by rank[(i+k) mod n].
+    for (std::size_t i = 0; i < n; ++i) {
+      tmp[i] = (order[i] + static_cast<std::uint32_t>(n) -
+                static_cast<std::uint32_t>(k % n)) %
+               static_cast<std::uint32_t>(n);
+    }
+    // Stable counting sort by first key (rank of position).
+    const std::size_t classes = rank[order[n - 1]] + 1;
+    std::fill(cnt.begin(), cnt.begin() + static_cast<std::ptrdiff_t>(classes + 1), 0u);
+    for (std::size_t i = 0; i < n; ++i) cnt[rank[tmp[i]] + 1]++;
+    for (std::size_t c = 1; c <= classes; ++c) cnt[c] += cnt[c - 1];
+    for (std::size_t i = 0; i < n; ++i) order[cnt[rank[tmp[i]]]++] = tmp[i];
+    // Re-rank by (rank, rank+k) pairs.
+    new_rank[order[0]] = 0;
+    for (std::size_t i = 1; i < n; ++i) {
+      const std::uint32_t a = order[i], b = order[i - 1];
+      const bool equal = rank[a] == rank[b] &&
+                         rank[(a + k) % n] == rank[(b + k) % n];
+      new_rank[a] = new_rank[b] + (equal ? 0u : 1u);
+    }
+    rank.swap(new_rank);
+  }
+
+  r.last_column.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::uint32_t rot = order[i];
+    r.last_column[i] = data[(rot + n - 1) % n];
+    if (rot == 0) r.primary_index = static_cast<std::uint32_t>(i);
+  }
+  return r;
+}
+
+std::vector<std::uint8_t> bwt_inverse(const std::uint8_t* last_column,
+                                      std::size_t len,
+                                      std::uint32_t primary_index) {
+  std::vector<std::uint8_t> out;
+  if (len == 0) return out;
+  if (primary_index >= len) throw std::runtime_error("bwt: bad primary index");
+
+  // LF mapping: for each row i, next[i] is the row whose rotation is one
+  // step forward; walking it from the primary row rebuilds the text.
+  std::size_t counts[256] = {};
+  for (std::size_t i = 0; i < len; ++i) counts[last_column[i]]++;
+  std::size_t starts[256];
+  std::size_t acc = 0;
+  for (int c = 0; c < 256; ++c) {
+    starts[c] = acc;
+    acc += counts[c];
+  }
+  std::vector<std::uint32_t> lf(len);
+  std::size_t seen[256] = {};
+  for (std::size_t i = 0; i < len; ++i) {
+    const std::uint8_t c = last_column[i];
+    lf[i] = static_cast<std::uint32_t>(starts[c] + seen[c]++);
+  }
+  // The primary row is the original string; its last-column char is the
+  // final character, and LF steps to the rotation one position earlier.
+  out.resize(len);
+  std::uint32_t row = primary_index;
+  for (std::size_t i = len; i-- > 0;) {
+    out[i] = last_column[row];
+    row = lf[row];
+  }
+  return out;
+}
+
+std::vector<std::uint8_t> mtf_encode(const std::uint8_t* data, std::size_t len) {
+  std::uint8_t alphabet[256];
+  for (int i = 0; i < 256; ++i) alphabet[i] = static_cast<std::uint8_t>(i);
+  std::vector<std::uint8_t> out(len);
+  for (std::size_t i = 0; i < len; ++i) {
+    const std::uint8_t c = data[i];
+    std::uint8_t j = 0;
+    while (alphabet[j] != c) ++j;
+    out[i] = j;
+    // Move to front.
+    for (std::uint8_t k = j; k > 0; --k) alphabet[k] = alphabet[k - 1];
+    alphabet[0] = c;
+  }
+  return out;
+}
+
+std::vector<std::uint8_t> mtf_decode(const std::uint8_t* data, std::size_t len) {
+  std::uint8_t alphabet[256];
+  for (int i = 0; i < 256; ++i) alphabet[i] = static_cast<std::uint8_t>(i);
+  std::vector<std::uint8_t> out(len);
+  for (std::size_t i = 0; i < len; ++i) {
+    const std::uint8_t j = data[i];
+    const std::uint8_t c = alphabet[j];
+    out[i] = c;
+    for (std::uint8_t k = j; k > 0; --k) alphabet[k] = alphabet[k - 1];
+    alphabet[0] = c;
+  }
+  return out;
+}
+
+std::vector<std::uint8_t> zrle_encode(const std::uint8_t* data, std::size_t len) {
+  std::vector<std::uint8_t> out;
+  out.reserve(len);
+  std::size_t i = 0;
+  while (i < len) {
+    if (data[i] == 0) {
+      std::size_t run = 1;
+      while (i + run < len && data[i + run] == 0 && run < 255) ++run;
+      out.push_back(0);
+      out.push_back(static_cast<std::uint8_t>(run));
+      i += run;
+    } else {
+      out.push_back(data[i++]);
+    }
+  }
+  return out;
+}
+
+std::vector<std::uint8_t> zrle_decode(const std::uint8_t* data, std::size_t len) {
+  std::vector<std::uint8_t> out;
+  out.reserve(len * 2);
+  std::size_t i = 0;
+  while (i < len) {
+    if (data[i] == 0) {
+      if (i + 1 >= len) throw std::runtime_error("zrle: truncated run");
+      const std::size_t run = data[i + 1];
+      if (run == 0) throw std::runtime_error("zrle: zero run length");
+      out.insert(out.end(), run, 0);
+      i += 2;
+    } else {
+      out.push_back(data[i++]);
+    }
+  }
+  return out;
+}
+
+}  // namespace hq::util

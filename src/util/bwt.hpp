@@ -1,0 +1,34 @@
+// Burrows–Wheeler transform over circular rotations, used by the mbzip
+// block compressor (the bzip2 app's Compress kernel).
+//
+// Forward: sort all rotations of the block (prefix-doubling over circular
+// ranks, O(n log^2 n)) and emit the last column plus the index of the
+// original rotation. Inverse: standard LF-mapping reconstruction.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace hq::util {
+
+struct bwt_result {
+  std::vector<std::uint8_t> last_column;
+  std::uint32_t primary_index;  // row of the original string in sorted order
+};
+
+bwt_result bwt_forward(const std::uint8_t* data, std::size_t len);
+
+std::vector<std::uint8_t> bwt_inverse(const std::uint8_t* last_column,
+                                      std::size_t len, std::uint32_t primary_index);
+
+/// Move-to-front coding (bijective; decoder is mtf_decode).
+std::vector<std::uint8_t> mtf_encode(const std::uint8_t* data, std::size_t len);
+std::vector<std::uint8_t> mtf_decode(const std::uint8_t* data, std::size_t len);
+
+/// Zero-run-length coding for post-MTF streams: a 0x00 byte is always
+/// followed by a run length (1..255); other bytes are verbatim.
+std::vector<std::uint8_t> zrle_encode(const std::uint8_t* data, std::size_t len);
+std::vector<std::uint8_t> zrle_decode(const std::uint8_t* data, std::size_t len);
+
+}  // namespace hq::util

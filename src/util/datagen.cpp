@@ -1,0 +1,157 @@
+#include "util/datagen.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/rng.hpp"
+
+namespace hq::util {
+
+std::vector<std::uint8_t> gen_text(std::size_t bytes, std::uint64_t seed) {
+  xoshiro256 rng(seed);
+  // Vocabulary of pseudo-words; Zipf-like rank selection makes the stream
+  // compressible (repeated common words) without being trivially so.
+  std::vector<std::string> vocab;
+  vocab.reserve(512);
+  for (int w = 0; w < 512; ++w) {
+    const std::size_t len = 2 + rng.below(9);
+    std::string word;
+    for (std::size_t i = 0; i < len; ++i) {
+      word.push_back(static_cast<char>('a' + rng.below(26)));
+    }
+    vocab.push_back(std::move(word));
+  }
+  std::vector<std::uint8_t> out;
+  out.reserve(bytes + 16);
+  std::size_t col = 0;
+  while (out.size() < bytes) {
+    // Zipf-ish: rank ~ u^3 biases towards low ranks.
+    const double u = rng.uniform();
+    const auto rank = static_cast<std::size_t>(u * u * u * 511.0);
+    const std::string& w = vocab[rank];
+    out.insert(out.end(), w.begin(), w.end());
+    col += w.size() + 1;
+    if (rng.below(12) == 0) out.push_back('.');
+    if (col > 70) {
+      out.push_back('\n');
+      col = 0;
+    } else {
+      out.push_back(' ');
+    }
+  }
+  out.resize(bytes);
+  return out;
+}
+
+std::vector<std::uint8_t> gen_archive(std::size_t bytes, double dup_fraction,
+                                      std::uint64_t seed) {
+  xoshiro256 rng(seed);
+  std::vector<std::uint8_t> out;
+  out.reserve(bytes + 4096);
+  std::vector<std::pair<std::size_t, std::size_t>> prior_blocks;  // offset,len
+  while (out.size() < bytes) {
+    const bool dup = !prior_blocks.empty() && rng.uniform() < dup_fraction;
+    if (dup) {
+      const auto& [off, len] = prior_blocks[rng.below(prior_blocks.size())];
+      // Re-emit an earlier block byte-identically.
+      const std::size_t start = out.size();
+      out.resize(start + len);
+      std::copy(out.begin() + static_cast<std::ptrdiff_t>(off),
+                out.begin() + static_cast<std::ptrdiff_t>(off + len),
+                out.begin() + static_cast<std::ptrdiff_t>(start));
+    } else {
+      const std::size_t len = 2048 + rng.below(6144);
+      const std::size_t start = out.size();
+      // Semi-compressible payload: runs + text-ish bytes.
+      std::size_t i = 0;
+      while (i < len) {
+        if (rng.below(4) == 0) {
+          const std::size_t run = 4 + rng.below(60);
+          const auto b = static_cast<std::uint8_t>(rng.below(256));
+          for (std::size_t k = 0; k < run && i < len; ++k, ++i) out.push_back(b);
+        } else {
+          out.push_back(static_cast<std::uint8_t>('A' + rng.below(60)));
+          ++i;
+        }
+      }
+      prior_blocks.emplace_back(start, len);
+    }
+  }
+  out.resize(bytes);
+  return out;
+}
+
+std::vector<float> gen_image(std::size_t width, std::size_t height,
+                             std::uint64_t seed) {
+  xoshiro256 rng(seed);
+  std::vector<float> img(width * height);
+  // Smooth background gradient plus noise.
+  for (std::size_t y = 0; y < height; ++y) {
+    for (std::size_t x = 0; x < width; ++x) {
+      img[y * width + x] =
+          0.25f * static_cast<float>(x) / static_cast<float>(width) +
+          0.25f * static_cast<float>(y) / static_cast<float>(height) +
+          0.1f * static_cast<float>(rng.uniform());
+    }
+  }
+  // A few Gaussian blobs ("objects" for similarity search).
+  const int blobs = 2 + static_cast<int>(rng.below(4));
+  for (int b = 0; b < blobs; ++b) {
+    const double cx = rng.uniform() * static_cast<double>(width);
+    const double cy = rng.uniform() * static_cast<double>(height);
+    const double sigma = 2.0 + rng.uniform() * static_cast<double>(width) / 8.0;
+    const double amp = 0.3 + rng.uniform() * 0.6;
+    for (std::size_t y = 0; y < height; ++y) {
+      for (std::size_t x = 0; x < width; ++x) {
+        const double dx = static_cast<double>(x) - cx;
+        const double dy = static_cast<double>(y) - cy;
+        img[y * width + x] += static_cast<float>(
+            amp * std::exp(-(dx * dx + dy * dy) / (2.0 * sigma * sigma)));
+      }
+    }
+  }
+  for (auto& v : img) v = std::min(1.0f, std::max(0.0f, v));
+  return img;
+}
+
+namespace {
+
+void gen_dir(dir_tree::dir_node* node, std::size_t* remaining, int depth,
+             xoshiro256* rng, std::size_t* next_id) {
+  const std::size_t files_here =
+      std::min<std::size_t>(*remaining, 1 + rng->below(12));
+  for (std::size_t i = 0; i < files_here; ++i) {
+    node->files.push_back("img_" + std::to_string((*next_id)++) + ".ppm");
+  }
+  *remaining -= files_here;
+  if (depth < 5) {
+    const std::size_t subdirs = *remaining == 0 ? 0 : rng->below(4);
+    for (std::size_t d = 0; d < subdirs && *remaining > 0; ++d) {
+      dir_tree::dir_node child;
+      child.name = "dir_" + std::to_string(depth) + "_" + std::to_string(d);
+      gen_dir(&child, remaining, depth + 1, rng, next_id);
+      node->subdirs.push_back(std::move(child));
+    }
+  }
+  // Whatever remains at the deepest recursion goes into this directory.
+  if (depth == 0 && *remaining > 0) {
+    for (; *remaining > 0; --*remaining) {
+      node->files.push_back("img_" + std::to_string((*next_id)++) + ".ppm");
+    }
+  }
+}
+
+}  // namespace
+
+dir_tree gen_dir_tree(std::size_t total_files, std::uint64_t seed) {
+  xoshiro256 rng(seed);
+  dir_tree tree;
+  tree.root.name = "corpus";
+  std::size_t remaining = total_files;
+  std::size_t next_id = 0;
+  gen_dir(&tree.root, &remaining, 0, &rng, &next_id);
+  tree.total_files = total_files;
+  return tree;
+}
+
+}  // namespace hq::util

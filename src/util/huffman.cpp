@@ -1,0 +1,171 @@
+#include "util/huffman.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <queue>
+#include <stdexcept>
+
+namespace hq::util {
+
+namespace {
+
+struct node {
+  std::uint64_t weight;
+  int left = -1, right = -1;  // -1 leaves use `symbol`
+  int symbol = -1;
+};
+
+void collect_depths(const std::vector<node>& nodes, int idx, unsigned depth,
+                    std::uint8_t out[256]) {
+  const node& n = nodes[static_cast<std::size_t>(idx)];
+  if (n.symbol >= 0) {
+    out[n.symbol] = static_cast<std::uint8_t>(depth == 0 ? 1 : depth);
+    return;
+  }
+  collect_depths(nodes, n.left, depth + 1, out);
+  collect_depths(nodes, n.right, depth + 1, out);
+}
+
+}  // namespace
+
+huffman_code huffman_code::build(const std::uint64_t freq_in[256]) {
+  std::uint64_t freq[256];
+  std::copy(freq_in, freq_in + 256, freq);
+
+  huffman_code hc;
+  for (;;) {
+    // Standard two-queue Huffman construction via priority queue.
+    std::vector<node> nodes;
+    using heap_entry = std::pair<std::uint64_t, int>;
+    std::priority_queue<heap_entry, std::vector<heap_entry>, std::greater<>> heap;
+    for (int s = 0; s < 256; ++s) {
+      if (freq[s] != 0) {
+        nodes.push_back(node{freq[s], -1, -1, s});
+        heap.emplace(freq[s], static_cast<int>(nodes.size()) - 1);
+      }
+    }
+    if (nodes.empty()) throw std::runtime_error("huffman: empty input");
+    while (heap.size() > 1) {
+      auto [wa, a] = heap.top();
+      heap.pop();
+      auto [wb, b] = heap.top();
+      heap.pop();
+      nodes.push_back(node{wa + wb, a, b, -1});
+      heap.emplace(wa + wb, static_cast<int>(nodes.size()) - 1);
+    }
+    std::fill(std::begin(hc.lengths), std::end(hc.lengths), 0);
+    collect_depths(nodes, heap.top().second, 0, hc.lengths);
+
+    const unsigned max_len =
+        *std::max_element(std::begin(hc.lengths), std::end(hc.lengths));
+    if (max_len <= kMaxCodeLen) break;
+    // Depth overflow (requires very skewed counts): flatten frequencies and
+    // rebuild — a standard depth-limiting heuristic.
+    for (auto& f : freq) {
+      if (f != 0) f = (f + 1) / 2;
+    }
+  }
+  hc.assign_canonical_codes();
+  return hc;
+}
+
+void huffman_code::assign_canonical_codes() {
+  // Sort symbols by (length, symbol) and hand out consecutive codes.
+  int order[256];
+  int n = 0;
+  for (int s = 0; s < 256; ++s) {
+    if (lengths[s] != 0) order[n++] = s;
+  }
+  std::sort(order, order + n, [&](int a, int b) {
+    if (lengths[a] != lengths[b]) return lengths[a] < lengths[b];
+    return a < b;
+  });
+  std::uint32_t code = 0;
+  unsigned prev_len = 0;
+  for (int i = 0; i < n; ++i) {
+    const int s = order[i];
+    code <<= (lengths[s] - prev_len);
+    codes[s] = code;
+    ++code;
+    prev_len = lengths[s];
+  }
+}
+
+std::vector<std::uint8_t> huffman_encode(const std::uint8_t* data, std::size_t len) {
+  std::uint64_t freq[256] = {};
+  for (std::size_t i = 0; i < len; ++i) freq[data[i]]++;
+  if (len == 0) freq[0] = 1;  // degenerate, keeps the table well-formed
+  huffman_code hc = huffman_code::build(freq);
+
+  std::vector<std::uint8_t> out(std::begin(hc.lengths), std::end(hc.lengths));
+  bit_writer bw;
+  for (std::size_t i = 0; i < len; ++i) {
+    const std::uint8_t s = data[i];
+    bw.put(hc.codes[s], hc.lengths[s]);
+  }
+  std::vector<std::uint8_t> payload = bw.finish();
+  out.insert(out.end(), payload.begin(), payload.end());
+  return out;
+}
+
+std::vector<std::uint8_t> huffman_decode(const std::uint8_t* data, std::size_t len,
+                                         std::size_t expected_len) {
+  if (len < 256) throw std::runtime_error("huffman: truncated table");
+  huffman_code hc;
+  std::copy(data, data + 256, hc.lengths);
+  hc.assign_canonical_codes();
+
+  // Build a (length -> first code, first index) canonical decoding table.
+  int order[256];
+  int n = 0;
+  for (int s = 0; s < 256; ++s) {
+    if (hc.lengths[s] != 0) order[n++] = s;
+  }
+  std::sort(order, order + n, [&](int a, int b) {
+    if (hc.lengths[a] != hc.lengths[b]) return hc.lengths[a] < hc.lengths[b];
+    return a < b;
+  });
+
+  std::vector<std::uint8_t> out;
+  out.reserve(expected_len);
+  bit_reader br(data + 256, len - 256);
+  if (n == 1) {
+    // Single-symbol alphabet: one bit per symbol was emitted.
+    for (std::size_t i = 0; i < expected_len; ++i) {
+      (void)br.get();
+      out.push_back(static_cast<std::uint8_t>(order[0]));
+    }
+    return out;
+  }
+  while (out.size() < expected_len) {
+    std::uint32_t code = 0;
+    unsigned length = 0;
+    int idx = 0;  // index into `order` of the first code of current length
+    std::uint32_t first = 0;
+    for (;;) {
+      const int bit = br.get();
+      if (bit < 0) throw std::runtime_error("huffman: truncated payload");
+      code = (code << 1) | static_cast<std::uint32_t>(bit);
+      ++length;
+      // Count symbols with this length; canonical layout makes lookup O(1)
+      // per length step.
+      int count = 0;
+      while (idx + count < n &&
+             hc.lengths[order[idx + count]] == length) {
+        ++count;
+      }
+      if (count != 0 && code - first < static_cast<std::uint32_t>(count)) {
+        out.push_back(static_cast<std::uint8_t>(order[idx + (code - first)]));
+        break;
+      }
+      first = (first + static_cast<std::uint32_t>(count)) << 1;
+      idx += count;
+      if (length > huffman_code::kMaxCodeLen) {
+        throw std::runtime_error("huffman: invalid code");
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace hq::util

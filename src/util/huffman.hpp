@@ -1,0 +1,85 @@
+// Canonical Huffman coding over bytes, with a simple bit stream — the
+// entropy-coding stage of the mbzip block compressor.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace hq::util {
+
+/// Append-only MSB-first bit writer.
+class bit_writer {
+ public:
+  void put(std::uint32_t bits, unsigned count) noexcept {
+    for (int i = static_cast<int>(count) - 1; i >= 0; --i) {
+      acc_ = (acc_ << 1) | ((bits >> i) & 1u);
+      if (++fill_ == 8) {
+        out_.push_back(static_cast<std::uint8_t>(acc_));
+        acc_ = 0;
+        fill_ = 0;
+      }
+    }
+  }
+
+  /// Flush the final partial byte (zero-padded) and take the buffer.
+  std::vector<std::uint8_t> finish() {
+    if (fill_ != 0) {
+      out_.push_back(static_cast<std::uint8_t>(acc_ << (8 - fill_)));
+      acc_ = 0;
+      fill_ = 0;
+    }
+    return std::move(out_);
+  }
+
+ private:
+  std::vector<std::uint8_t> out_;
+  std::uint32_t acc_ = 0;
+  unsigned fill_ = 0;
+};
+
+/// MSB-first bit reader over a borrowed buffer.
+class bit_reader {
+ public:
+  bit_reader(const std::uint8_t* data, std::size_t len) : data_(data), len_(len) {}
+
+  /// Read one bit; returns false at end of buffer (treated as 0 by caller).
+  int get() noexcept {
+    if (byte_ >= len_) return -1;
+    const int bit = (data_[byte_] >> (7 - fill_)) & 1;
+    if (++fill_ == 8) {
+      fill_ = 0;
+      ++byte_;
+    }
+    return bit;
+  }
+
+ private:
+  const std::uint8_t* data_;
+  std::size_t len_;
+  std::size_t byte_ = 0;
+  unsigned fill_ = 0;
+};
+
+/// Code lengths (0 = symbol unused) for a canonical Huffman code over 256
+/// symbols, depth-limited to kMaxCodeLen.
+struct huffman_code {
+  static constexpr unsigned kMaxCodeLen = 20;
+  std::uint8_t lengths[256] = {};
+  std::uint32_t codes[256] = {};  // canonical codes, derived from lengths
+
+  /// Build from symbol frequencies (at least one must be nonzero).
+  static huffman_code build(const std::uint64_t freq[256]);
+
+  /// Recompute canonical codes from lengths (after deserializing lengths).
+  void assign_canonical_codes();
+};
+
+/// Encode `len` bytes: [256 length bytes][varint bit count][bit payload].
+std::vector<std::uint8_t> huffman_encode(const std::uint8_t* data, std::size_t len);
+
+/// Decode a huffman_encode buffer back to `expected_len` original bytes.
+std::vector<std::uint8_t> huffman_decode(const std::uint8_t* data, std::size_t len,
+                                         std::size_t expected_len);
+
+}  // namespace hq::util

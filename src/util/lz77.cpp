@@ -1,0 +1,143 @@
+#include "util/lz77.hpp"
+
+#include <cstring>
+#include <stdexcept>
+
+namespace hq::util {
+
+namespace {
+
+constexpr std::size_t kWindow = 1u << 16;   // 64 KiB back-reference window
+constexpr std::size_t kMinMatch = 4;
+constexpr std::size_t kMaxMatch = 258;
+constexpr std::size_t kHashBits = 15;
+
+inline std::uint32_t hash4(const std::uint8_t* p) noexcept {
+  std::uint32_t v;
+  std::memcpy(&v, p, 4);
+  return (v * 2654435761u) >> (32 - kHashBits);
+}
+
+void put_varint(std::vector<std::uint8_t>* out, std::uint64_t v) {
+  while (v >= 0x80) {
+    out->push_back(static_cast<std::uint8_t>(v) | 0x80);
+    v >>= 7;
+  }
+  out->push_back(static_cast<std::uint8_t>(v));
+}
+
+std::uint64_t get_varint(const std::uint8_t* data, std::size_t len, std::size_t* pos) {
+  std::uint64_t v = 0;
+  int shift = 0;
+  for (;;) {
+    if (*pos >= len) throw std::runtime_error("lz77: truncated varint");
+    const std::uint8_t b = data[(*pos)++];
+    v |= static_cast<std::uint64_t>(b & 0x7F) << shift;
+    if ((b & 0x80) == 0) return v;
+    shift += 7;
+    if (shift > 63) throw std::runtime_error("lz77: varint overflow");
+  }
+}
+
+// Token stream grammar (after the orig_len header):
+//   varint n  with n odd:  literal run of (n >> 1) + 1 bytes follows
+//   varint n  with n even: match; length = (n >> 1) + kMinMatch,
+//                          followed by varint distance (>= 1)
+
+}  // namespace
+
+std::vector<std::uint8_t> lz77_compress(const std::uint8_t* data, std::size_t len,
+                                        unsigned effort) {
+  const std::size_t kMaxChain = effort < 1 ? 1 : effort;
+  std::vector<std::uint8_t> out;
+  out.reserve(len / 2 + 16);
+  put_varint(&out, len);
+
+  std::vector<std::int64_t> head(1u << kHashBits, -1);
+  std::vector<std::int64_t> prev(len > 0 ? len : 1, -1);
+
+  std::size_t lit_start = 0;
+  auto flush_literals = [&](std::size_t end) {
+    std::size_t n = end - lit_start;
+    while (n > 0) {
+      const std::size_t take = n < 4096 ? n : 4096;
+      put_varint(&out, ((take - 1) << 1) | 1);
+      out.insert(out.end(), data + lit_start, data + lit_start + take);
+      lit_start += take;
+      n -= take;
+    }
+  };
+
+  std::size_t i = 0;
+  while (i + kMinMatch <= len) {
+    const std::uint32_t h = hash4(data + i);
+    std::int64_t cand = head[h];
+    std::size_t best_len = 0;
+    std::size_t best_dist = 0;
+    for (std::size_t chain = 0; chain < kMaxChain && cand >= 0; ++chain) {
+      const std::size_t dist = i - static_cast<std::size_t>(cand);
+      if (dist > kWindow) break;
+      const std::size_t limit = std::min(kMaxMatch, len - i);
+      std::size_t m = 0;
+      const std::uint8_t* a = data + static_cast<std::size_t>(cand);
+      const std::uint8_t* b = data + i;
+      while (m < limit && a[m] == b[m]) ++m;
+      if (m > best_len) {
+        best_len = m;
+        best_dist = dist;
+        if (m == limit) break;
+      }
+      cand = prev[static_cast<std::size_t>(cand)];
+    }
+    if (best_len >= kMinMatch) {
+      flush_literals(i);
+      put_varint(&out, (best_len - kMinMatch) << 1);
+      put_varint(&out, best_dist);
+      // Index every position inside the match (bounded work).
+      const std::size_t end = i + best_len;
+      while (i < end && i + kMinMatch <= len) {
+        const std::uint32_t hh = hash4(data + i);
+        prev[i] = head[hh];
+        head[hh] = static_cast<std::int64_t>(i);
+        ++i;
+      }
+      i = end;
+      lit_start = end;
+    } else {
+      prev[i] = head[h];
+      head[h] = static_cast<std::int64_t>(i);
+      ++i;
+    }
+  }
+  flush_literals(len);
+  return out;
+}
+
+std::vector<std::uint8_t> lz77_decompress(const std::uint8_t* data, std::size_t len) {
+  std::size_t pos = 0;
+  const std::uint64_t orig = get_varint(data, len, &pos);
+  std::vector<std::uint8_t> out;
+  out.reserve(orig);
+  while (out.size() < orig) {
+    const std::uint64_t tok = get_varint(data, len, &pos);
+    if (tok & 1) {
+      const std::size_t n = static_cast<std::size_t>(tok >> 1) + 1;
+      if (pos + n > len) throw std::runtime_error("lz77: truncated literal run");
+      out.insert(out.end(), data + pos, data + pos + n);
+      pos += n;
+    } else {
+      const std::size_t m = static_cast<std::size_t>(tok >> 1) + kMinMatch;
+      const std::size_t dist = static_cast<std::size_t>(get_varint(data, len, &pos));
+      if (dist == 0 || dist > out.size()) {
+        throw std::runtime_error("lz77: bad match distance");
+      }
+      // Byte-wise copy: overlapping matches (dist < m) replicate correctly.
+      std::size_t src = out.size() - dist;
+      for (std::size_t k = 0; k < m; ++k) out.push_back(out[src + k]);
+    }
+  }
+  if (out.size() != orig) throw std::runtime_error("lz77: length mismatch");
+  return out;
+}
+
+}  // namespace hq::util

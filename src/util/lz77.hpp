@@ -1,0 +1,26 @@
+// LZ77-style byte compressor ("lzw77") — the Compress kernel of dedup.
+//
+// Greedy hash-chain matcher over a 64 KiB window emitting a token stream of
+// literal runs and (length, distance) matches, varint-encoded. Self-
+// contained and deterministic; the decompressor round-trips exactly.
+// Compression throughput is in the tens of MB/s — deliberately CPU-bound,
+// like PARSEC dedup's gzip stage.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace hq::util {
+
+/// Compress `len` bytes. Output layout: varint(orig_len) then tokens.
+/// `effort` bounds the match-search chain length (32 ≈ fast; 256+ ≈ the
+/// gzip-9-like effort dedup's Compress stage uses).
+std::vector<std::uint8_t> lz77_compress(const std::uint8_t* data, std::size_t len,
+                                        unsigned effort = 32);
+
+/// Decompress a buffer produced by lz77_compress. Returns the original
+/// bytes; throws std::runtime_error on malformed input.
+std::vector<std::uint8_t> lz77_decompress(const std::uint8_t* data, std::size_t len);
+
+}  // namespace hq::util

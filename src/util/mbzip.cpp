@@ -1,0 +1,90 @@
+#include "util/mbzip.hpp"
+
+#include <cstring>
+#include <stdexcept>
+
+#include "util/bwt.hpp"
+#include "util/huffman.hpp"
+
+namespace hq::util {
+
+namespace {
+
+void put_u32(std::vector<std::uint8_t>* out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) out->push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+std::uint32_t get_u32(const std::uint8_t* p) {
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v |= static_cast<std::uint32_t>(p[i]) << (8 * i);
+  return v;
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> mbzip_compress_block(const std::uint8_t* data,
+                                               std::size_t len) {
+  // Block layout: [orig_len u32][primary u32][zrle_len u32][huffman payload]
+  bwt_result bwt = bwt_forward(data, len);
+  std::vector<std::uint8_t> mtf = mtf_encode(bwt.last_column.data(),
+                                             bwt.last_column.size());
+  std::vector<std::uint8_t> rle = zrle_encode(mtf.data(), mtf.size());
+  std::vector<std::uint8_t> huff = huffman_encode(rle.data(), rle.size());
+
+  std::vector<std::uint8_t> out;
+  out.reserve(huff.size() + 12);
+  put_u32(&out, static_cast<std::uint32_t>(len));
+  put_u32(&out, bwt.primary_index);
+  put_u32(&out, static_cast<std::uint32_t>(rle.size()));
+  out.insert(out.end(), huff.begin(), huff.end());
+  return out;
+}
+
+std::vector<std::uint8_t> mbzip_decompress_block(const std::uint8_t* data,
+                                                 std::size_t len) {
+  if (len < 12) throw std::runtime_error("mbzip: truncated block header");
+  const std::uint32_t orig_len = get_u32(data);
+  const std::uint32_t primary = get_u32(data + 4);
+  const std::uint32_t rle_len = get_u32(data + 8);
+  std::vector<std::uint8_t> rle = huffman_decode(data + 12, len - 12, rle_len);
+  std::vector<std::uint8_t> mtf = zrle_decode(rle.data(), rle.size());
+  if (mtf.size() != orig_len) throw std::runtime_error("mbzip: MTF length mismatch");
+  std::vector<std::uint8_t> last = mtf_decode(mtf.data(), mtf.size());
+  return bwt_inverse(last.data(), last.size(), primary);
+}
+
+std::vector<std::uint8_t> mbzip_compress(const std::uint8_t* data, std::size_t len,
+                                         std::size_t block_size) {
+  if (block_size == 0) block_size = 1;
+  std::vector<std::uint8_t> out;
+  // Stream layout: [block_count u32] then per block [comp_len u32][block].
+  const std::size_t blocks = len == 0 ? 0 : (len + block_size - 1) / block_size;
+  put_u32(&out, static_cast<std::uint32_t>(blocks));
+  for (std::size_t b = 0; b < blocks; ++b) {
+    const std::size_t off = b * block_size;
+    const std::size_t n = std::min(block_size, len - off);
+    std::vector<std::uint8_t> comp = mbzip_compress_block(data + off, n);
+    put_u32(&out, static_cast<std::uint32_t>(comp.size()));
+    out.insert(out.end(), comp.begin(), comp.end());
+  }
+  return out;
+}
+
+std::vector<std::uint8_t> mbzip_decompress(const std::uint8_t* data, std::size_t len) {
+  if (len < 4) throw std::runtime_error("mbzip: truncated stream");
+  const std::uint32_t blocks = get_u32(data);
+  std::size_t pos = 4;
+  std::vector<std::uint8_t> out;
+  for (std::uint32_t b = 0; b < blocks; ++b) {
+    if (pos + 4 > len) throw std::runtime_error("mbzip: truncated block length");
+    const std::uint32_t clen = get_u32(data + pos);
+    pos += 4;
+    if (pos + clen > len) throw std::runtime_error("mbzip: truncated block");
+    std::vector<std::uint8_t> block = mbzip_decompress_block(data + pos, clen);
+    pos += clen;
+    out.insert(out.end(), block.begin(), block.end());
+  }
+  return out;
+}
+
+}  // namespace hq::util

@@ -1,0 +1,27 @@
+// mbzip — a bzip2-like block compressor: BWT + MTF + zero-RLE + canonical
+// Huffman per block. This is the compute kernel of the paper's bzip2
+// pipeline (Section 6.3): block-independent compression (parallel middle
+// stage) between a serial reader and a serial in-order writer.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace hq::util {
+
+/// Compress one block (any size; typical 100-900 KiB).
+std::vector<std::uint8_t> mbzip_compress_block(const std::uint8_t* data,
+                                               std::size_t len);
+
+/// Decompress one block produced by mbzip_compress_block.
+std::vector<std::uint8_t> mbzip_decompress_block(const std::uint8_t* data,
+                                                 std::size_t len);
+
+/// Whole-buffer convenience (sequential over blocks); the parallel versions
+/// live in apps/bzip2.
+std::vector<std::uint8_t> mbzip_compress(const std::uint8_t* data, std::size_t len,
+                                         std::size_t block_size);
+std::vector<std::uint8_t> mbzip_decompress(const std::uint8_t* data, std::size_t len);
+
+}  // namespace hq::util

@@ -1,0 +1,48 @@
+#include "util/rabin.hpp"
+
+#include "util/rng.hpp"
+
+namespace hq::util {
+
+rabin_hash::rabin_hash() noexcept {
+  std::uint64_t seed = 0x5eed5eed5eed5eedull;
+  for (auto& t : table_) t = splitmix64(seed);
+  out_factor_ = 1;
+  for (std::size_t i = 0; i < kWindow; ++i) out_factor_ *= kPrime;
+  reset();
+}
+
+void rabin_hash::reset() noexcept {
+  hash_ = 0;
+  pos_ = 0;
+  for (auto& b : window_) b = 0;
+  // Prime the hash as if the window were all zeros, so value() is stable
+  // from the first roll.
+  for (std::size_t i = 0; i < kWindow; ++i) hash_ = hash_ * kPrime + table_[0];
+}
+
+std::vector<chunk_bounds> chunk_stream(const std::uint8_t* data, std::size_t len,
+                                       unsigned avg_size_log2, std::size_t min_size,
+                                       std::size_t max_size) {
+  std::vector<chunk_bounds> chunks;
+  if (len == 0) return chunks;
+  const std::uint64_t mask = (1ull << avg_size_log2) - 1;
+  rabin_hash rh;
+  std::size_t start = 0;
+  std::size_t i = 0;
+  while (i < len) {
+    rh.roll(data[i]);
+    ++i;
+    const std::size_t cur = i - start;
+    const bool at_boundary = (rh.value() & mask) == mask;
+    if ((at_boundary && cur >= min_size) || cur >= max_size) {
+      chunks.push_back({start, cur});
+      start = i;
+      rh.reset();
+    }
+  }
+  if (start < len) chunks.push_back({start, len - start});
+  return chunks;
+}
+
+}  // namespace hq::util

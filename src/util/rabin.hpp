@@ -1,0 +1,52 @@
+// Rabin-style rolling-hash content-defined chunking — the FragmentRefine
+// kernel of dedup: split a byte stream at content-determined boundaries so
+// that identical content produces identical chunks regardless of position.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace hq::util {
+
+/// Rolling hash over a fixed window with per-byte push/roll.
+class rabin_hash {
+ public:
+  static constexpr std::size_t kWindow = 32;
+
+  rabin_hash() noexcept;
+
+  /// Feed the next byte, evicting the oldest once the window is full.
+  void roll(std::uint8_t byte) noexcept {
+    const std::uint8_t old = window_[pos_];
+    window_[pos_] = byte;
+    pos_ = (pos_ + 1) % kWindow;
+    hash_ = hash_ * kPrime + table_[byte] - out_factor_ * table_[old];
+  }
+
+  [[nodiscard]] std::uint64_t value() const noexcept { return hash_; }
+
+  void reset() noexcept;
+
+ private:
+  static constexpr std::uint64_t kPrime = 1099511628211ull;
+  std::uint64_t table_[256];
+  std::uint64_t out_factor_;  // kPrime^kWindow
+  std::uint64_t hash_ = 0;
+  std::uint8_t window_[kWindow] = {};
+  std::size_t pos_ = 0;
+};
+
+struct chunk_bounds {
+  std::size_t offset;
+  std::size_t size;
+};
+
+/// Content-defined chunking: cut where the rolling hash matches a mask,
+/// subject to [min_size, max_size]. `avg_size_log2` sets the expected chunk
+/// size to 2^avg_size_log2 bytes.
+std::vector<chunk_bounds> chunk_stream(const std::uint8_t* data, std::size_t len,
+                                       unsigned avg_size_log2, std::size_t min_size,
+                                       std::size_t max_size);
+
+}  // namespace hq::util

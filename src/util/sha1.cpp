@@ -1,0 +1,117 @@
+#include "util/sha1.hpp"
+
+#include <cstring>
+
+namespace hq::util {
+
+namespace {
+inline std::uint32_t rol(std::uint32_t x, int n) noexcept {
+  return (x << n) | (x >> (32 - n));
+}
+}  // namespace
+
+void sha1_stream::process_block(const std::uint8_t* p) noexcept {
+  std::uint32_t w[80];
+  for (int i = 0; i < 16; ++i) {
+    w[i] = (static_cast<std::uint32_t>(p[4 * i]) << 24) |
+           (static_cast<std::uint32_t>(p[4 * i + 1]) << 16) |
+           (static_cast<std::uint32_t>(p[4 * i + 2]) << 8) |
+           static_cast<std::uint32_t>(p[4 * i + 3]);
+  }
+  for (int i = 16; i < 80; ++i) {
+    w[i] = rol(w[i - 3] ^ w[i - 8] ^ w[i - 14] ^ w[i - 16], 1);
+  }
+  std::uint32_t a = h_[0], b = h_[1], c = h_[2], d = h_[3], e = h_[4];
+  for (int i = 0; i < 80; ++i) {
+    std::uint32_t f, k;
+    if (i < 20) {
+      f = (b & c) | (~b & d);
+      k = 0x5A827999u;
+    } else if (i < 40) {
+      f = b ^ c ^ d;
+      k = 0x6ED9EBA1u;
+    } else if (i < 60) {
+      f = (b & c) | (b & d) | (c & d);
+      k = 0x8F1BBCDCu;
+    } else {
+      f = b ^ c ^ d;
+      k = 0xCA62C1D6u;
+    }
+    const std::uint32_t t = rol(a, 5) + f + e + k + w[i];
+    e = d;
+    d = c;
+    c = rol(b, 30);
+    b = a;
+    a = t;
+  }
+  h_[0] += a;
+  h_[1] += b;
+  h_[2] += c;
+  h_[3] += d;
+  h_[4] += e;
+}
+
+void sha1_stream::update(const void* data, std::size_t len) noexcept {
+  const auto* p = static_cast<const std::uint8_t*>(data);
+  total_ += len;
+  if (buf_len_ != 0) {
+    const std::size_t need = 64 - buf_len_;
+    const std::size_t take = len < need ? len : need;
+    std::memcpy(buf_ + buf_len_, p, take);
+    buf_len_ += take;
+    p += take;
+    len -= take;
+    if (buf_len_ == 64) {
+      process_block(buf_);
+      buf_len_ = 0;
+    }
+  }
+  while (len >= 64) {
+    process_block(p);
+    p += 64;
+    len -= 64;
+  }
+  if (len != 0) {
+    std::memcpy(buf_, p, len);
+    buf_len_ = len;
+  }
+}
+
+sha1_digest sha1_stream::finish() noexcept {
+  const std::uint64_t bits = total_ * 8;
+  const std::uint8_t pad = 0x80;
+  update(&pad, 1);
+  const std::uint8_t zero = 0;
+  while (buf_len_ != 56) update(&zero, 1);
+  std::uint8_t len_be[8];
+  for (int i = 0; i < 8; ++i) {
+    len_be[i] = static_cast<std::uint8_t>(bits >> (56 - 8 * i));
+  }
+  // Bypass total_ accounting for the length field itself.
+  std::memcpy(buf_ + 56, len_be, 8);
+  process_block(buf_);
+  buf_len_ = 0;
+  sha1_digest d;
+  for (int i = 0; i < 5; ++i) d.h[static_cast<std::size_t>(i)] = h_[i];
+  return d;
+}
+
+sha1_digest sha1(const void* data, std::size_t len) noexcept {
+  sha1_stream s;
+  s.update(data, len);
+  return s.finish();
+}
+
+std::string sha1_digest::hex() const {
+  static const char* digits = "0123456789abcdef";
+  std::string out;
+  out.reserve(40);
+  for (std::uint32_t word : h) {
+    for (int shift = 28; shift >= 0; shift -= 4) {
+      out.push_back(digits[(word >> shift) & 0xF]);
+    }
+  }
+  return out;
+}
+
+}  // namespace hq::util

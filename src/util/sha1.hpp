@@ -1,0 +1,52 @@
+// SHA-1 (FIPS 180-1) — the content digest dedup uses to identify duplicate
+// chunks, as in PARSEC's dedup kernel. Not for security; for 160-bit
+// fingerprinting of chunk payloads.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace hq::util {
+
+struct sha1_digest {
+  std::array<std::uint32_t, 5> h;
+
+  bool operator==(const sha1_digest&) const = default;
+
+  /// First 8 bytes as an integer — hash-table key for dedup indexes.
+  [[nodiscard]] std::uint64_t prefix64() const noexcept {
+    return (static_cast<std::uint64_t>(h[0]) << 32) | h[1];
+  }
+
+  [[nodiscard]] std::string hex() const;
+};
+
+/// One-shot digest of a buffer.
+sha1_digest sha1(const void* data, std::size_t len) noexcept;
+
+/// Incremental interface.
+class sha1_stream {
+ public:
+  void update(const void* data, std::size_t len) noexcept;
+  sha1_digest finish() noexcept;
+
+ private:
+  void process_block(const std::uint8_t* p) noexcept;
+
+  std::uint32_t h_[5] = {0x67452301u, 0xEFCDAB89u, 0x98BADCFEu, 0x10325476u,
+                         0xC3D2E1F0u};
+  std::uint8_t buf_[64];
+  std::size_t buf_len_ = 0;
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace hq::util
+
+template <>
+struct std::hash<hq::util::sha1_digest> {
+  std::size_t operator()(const hq::util::sha1_digest& d) const noexcept {
+    return static_cast<std::size_t>(d.prefix64());
+  }
+};

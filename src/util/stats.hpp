@@ -1,0 +1,49 @@
+// Timing and summary statistics for the benchmark harnesses.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <vector>
+
+namespace hq::util {
+
+/// Wall-clock stopwatch.
+class stopwatch {
+ public:
+  stopwatch() : start_(clock::now()) {}
+  void reset() { start_ = clock::now(); }
+  [[nodiscard]] double seconds() const {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+  [[nodiscard]] double millis() const { return seconds() * 1e3; }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+struct summary {
+  double mean = 0;
+  double stddev = 0;
+  double min = 0;
+  double max = 0;
+  double median = 0;
+  std::size_t n = 0;
+};
+
+/// Mean / stddev / min / median / max of a sample vector.
+summary summarize(std::vector<double> xs);
+
+/// Best-of-k timing helper: run `fn` k times, return the minimum seconds.
+template <typename F>
+double time_best_of(int k, F&& fn) {
+  double best = 1e300;
+  for (int i = 0; i < k; ++i) {
+    stopwatch sw;
+    fn();
+    best = std::min(best, sw.seconds());
+  }
+  return best;
+}
+
+}  // namespace hq::util

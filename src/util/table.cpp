@@ -1,0 +1,57 @@
+#include "util/table.hpp"
+
+#include <cstdio>
+#include <sstream>
+
+namespace hq::util {
+
+table::table(std::vector<std::string> headers) : headers_(std::move(headers)) {}
+
+void table::add_row(std::vector<std::string> cells) {
+  cells.resize(headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string table::cell(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+std::string table::cell(std::uint64_t v) { return std::to_string(v); }
+std::string table::cell(long v) { return std::to_string(v); }
+std::string table::cell(int v) { return std::to_string(v); }
+
+std::string table::str(const std::string& title) const {
+  std::vector<std::size_t> width(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) width[c] = headers_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      width[c] = std::max(width[c], row[c].size());
+    }
+  }
+  std::ostringstream os;
+  if (!title.empty()) os << "== " << title << " ==\n";
+  auto emit_row = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < headers_.size(); ++c) {
+      os << (c == 0 ? "" : "  ");
+      const std::string& s = c < cells.size() ? cells[c] : headers_[c];
+      os << s;
+      for (std::size_t pad = s.size(); pad < width[c]; ++pad) os << ' ';
+    }
+    os << '\n';
+  };
+  emit_row(headers_);
+  std::size_t total = 0;
+  for (std::size_t c = 0; c < width.size(); ++c) total += width[c] + (c ? 2 : 0);
+  os << std::string(total, '-') << '\n';
+  for (const auto& row : rows_) emit_row(row);
+  return os.str();
+}
+
+void table::print(const std::string& title) const {
+  std::fputs(str(title).c_str(), stdout);
+  std::fflush(stdout);
+}
+
+}  // namespace hq::util

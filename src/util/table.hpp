@@ -1,0 +1,32 @@
+// Fixed-width table printer for the benchmark harnesses: every bench binary
+// regenerating a paper table/figure prints through this, so outputs are
+// uniform and grep-able in bench_output.txt.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace hq::util {
+
+class table {
+ public:
+  explicit table(std::vector<std::string> headers);
+
+  /// Append a row (stringify numbers with `cell`).
+  void add_row(std::vector<std::string> cells);
+
+  static std::string cell(double v, int precision = 3);
+  static std::string cell(std::uint64_t v);
+  static std::string cell(long v);
+  static std::string cell(int v);
+
+  /// Render with aligned columns, a header rule, and an optional title.
+  [[nodiscard]] std::string str(const std::string& title = "") const;
+  void print(const std::string& title = "") const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace hq::util

@@ -1,0 +1,346 @@
+// Property test: the hyperqueue determinism contract.
+//
+// A consumer must observe exactly the value sequence of the serial elision,
+// for ANY schedule, worker count, segment size, or spawn-tree shape.
+// We generate random programs (trees of producer tasks whose actions
+// interleave pushes and spawns, plus top-level consumers that pop bounded
+// counts), compute the expected sequences with a trivial serial interpreter,
+// then execute them on the runtime and compare byte-exactly.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "hq.hpp"
+
+namespace {
+
+// ------------------------------------------------------- program structure
+
+struct prod_node;
+
+struct prod_action {
+  bool is_push = false;
+  int value = 0;                        // for pushes
+  std::unique_ptr<prod_node> subtree;   // for spawns
+};
+
+struct prod_node {
+  std::vector<prod_action> actions;
+};
+
+struct top_step {
+  enum kind_t { kProducerTree, kConsumer, kOwnerPush } kind = kProducerTree;
+  std::unique_ptr<prod_node> tree;  // kProducerTree
+  int pop_count = 0;                // kConsumer: exact number of pops
+  bool nested = false;              // kConsumer: delegate pops to a child task
+  int value = 0;                    // kOwnerPush
+};
+
+struct program {
+  std::vector<top_step> steps;
+  bool drain_at_end = false;  // final consumer drains with while(!empty())
+};
+
+// ------------------------------------------------------ random generation
+
+class generator {
+ public:
+  explicit generator(std::uint64_t seed) : rng_(seed) {}
+
+  program make() {
+    program p;
+    const int n_steps = pick(3, 10);
+    for (int i = 0; i < n_steps; ++i) {
+      const int r = pick(0, 9);
+      if (r < 5) {
+        top_step s;
+        s.kind = top_step::kProducerTree;
+        s.tree = make_tree(0);
+        p.steps.push_back(std::move(s));
+      } else if (r < 7) {
+        top_step s;
+        s.kind = top_step::kOwnerPush;
+        s.value = next_value_++;
+        p.steps.push_back(std::move(s));
+      } else {
+        top_step s;
+        s.kind = top_step::kConsumer;
+        s.nested = pick(0, 3) == 0;
+        // Pop at most what the serial elision guarantees available.
+        const int avail = serial_available();
+        s.pop_count = avail == 0 ? 0 : pick(0, avail);
+        serial_popped_ += s.pop_count;
+        p.steps.push_back(std::move(s));
+      }
+    }
+    p.drain_at_end = pick(0, 1) == 1;
+    return p;
+  }
+
+  /// Serial-elision pop sequence for each consumer step (in step order),
+  /// plus the drain sequence.
+  static void expected_sequences(const program& p,
+                                 std::vector<std::vector<int>>* per_consumer,
+                                 std::vector<int>* drain) {
+    std::vector<int> queue;
+    std::size_t head = 0;
+    for (const auto& s : p.steps) {
+      switch (s.kind) {
+        case top_step::kProducerTree:
+          serial_run(*s.tree, &queue);
+          break;
+        case top_step::kOwnerPush:
+          queue.push_back(s.value);
+          break;
+        case top_step::kConsumer: {
+          std::vector<int> got;
+          for (int i = 0; i < s.pop_count; ++i) got.push_back(queue[head++]);
+          per_consumer->push_back(std::move(got));
+          break;
+        }
+      }
+    }
+    if (p.drain_at_end) {
+      while (head < queue.size()) drain->push_back(queue[head++]);
+    }
+  }
+
+ private:
+  std::unique_ptr<prod_node> make_tree(int depth) {
+    auto node = std::make_unique<prod_node>();
+    const int n_actions = pick(1, depth == 0 ? 6 : 4);
+    for (int i = 0; i < n_actions; ++i) {
+      prod_action a;
+      if (depth < 3 && pick(0, 2) == 0) {
+        a.is_push = false;
+        a.subtree = make_tree(depth + 1);
+      } else {
+        a.is_push = true;
+        const int run = pick(1, 7);
+        for (int k = 0; k < run; ++k) {
+          prod_action pa;
+          pa.is_push = true;
+          pa.value = next_value_++;
+          node->actions.push_back(std::move(pa));
+        }
+        continue;
+      }
+      node->actions.push_back(std::move(a));
+    }
+    return node;
+  }
+
+  static void serial_run(const prod_node& n, std::vector<int>* queue) {
+    for (const auto& a : n.actions) {
+      if (a.is_push) {
+        queue->push_back(a.value);
+      } else {
+        serial_run(*a.subtree, queue);  // serial elision: run child immediately
+      }
+    }
+  }
+
+  int serial_available() const { return next_value_ - serial_popped_; }
+
+  int pick(int lo, int hi) {
+    return std::uniform_int_distribution<int>(lo, hi)(rng_);
+  }
+
+  std::mt19937_64 rng_;
+  int next_value_ = 0;
+  int serial_popped_ = 0;
+};
+
+// ------------------------------------------------------------- execution
+
+void run_producer(hq::pushdep<int> q, const prod_node* node) {
+  for (const auto& a : node->actions) {
+    if (a.is_push) {
+      q.push(a.value);
+    } else {
+      hq::spawn(run_producer, q, a.subtree.get());
+      // Deliberately NO sync: later pushes of this node interleave with the
+      // running child in parallel but must still appear after the child's
+      // values in consumption order (early head reduction path).
+    }
+  }
+  hq::sync();
+}
+
+void run_consumer(hq::popdep<int> q, int count, std::vector<int>* out) {
+  for (int i = 0; i < count; ++i) {
+    ASSERT_FALSE(q.empty()) << "serial elision guarantees availability";
+    out->push_back(q.pop());
+  }
+}
+
+void run_nested_consumer(hq::popdep<int> q, int count, std::vector<int>* out) {
+  // Delegate the pops to a child task: exercises queue-view hand-down and
+  // the claim-back path.
+  hq::spawn(run_consumer, q, count, out);
+  hq::sync();
+}
+
+struct determinism_case {
+  std::uint64_t seed;
+  unsigned workers;
+  std::size_t segment_length;
+};
+
+class DeterminismTest : public ::testing::TestWithParam<determinism_case> {};
+
+TEST_P(DeterminismTest, MatchesSerialElision) {
+  const auto& param = GetParam();
+  generator gen(param.seed);
+  program prog = gen.make();
+
+  std::vector<std::vector<int>> expected_consumers;
+  std::vector<int> expected_drain;
+  generator::expected_sequences(prog, &expected_consumers, &expected_drain);
+
+  std::vector<std::vector<int>> got_consumers(expected_consumers.size());
+  std::vector<int> got_drain;
+
+  hq::scheduler sched(param.workers);
+  sched.run([&] {
+    hq::hyperqueue<int> queue(param.segment_length);
+    std::size_t consumer_idx = 0;
+    for (const auto& s : prog.steps) {
+      switch (s.kind) {
+        case top_step::kProducerTree:
+          hq::spawn(run_producer, (hq::pushdep<int>)queue, s.tree.get());
+          break;
+        case top_step::kOwnerPush:
+          queue.push(s.value);
+          break;
+        case top_step::kConsumer: {
+          auto* out = &got_consumers[consumer_idx++];
+          if (s.nested) {
+            hq::spawn(run_nested_consumer, (hq::popdep<int>)queue, s.pop_count, out);
+          } else {
+            hq::spawn(run_consumer, (hq::popdep<int>)queue, s.pop_count, out);
+          }
+          break;
+        }
+      }
+    }
+    if (prog.drain_at_end) {
+      hq::spawn(
+          [&got_drain](hq::popdep<int> q) {
+            while (!q.empty()) got_drain.push_back(q.pop());
+          },
+          (hq::popdep<int>)queue);
+    }
+    hq::sync();
+  });
+
+  ASSERT_EQ(got_consumers.size(), expected_consumers.size());
+  for (std::size_t i = 0; i < expected_consumers.size(); ++i) {
+    EXPECT_EQ(got_consumers[i], expected_consumers[i]) << "consumer " << i;
+  }
+  if (prog.drain_at_end) {
+    EXPECT_EQ(got_drain, expected_drain) << "final drain";
+  }
+}
+
+std::vector<determinism_case> make_cases() {
+  std::vector<determinism_case> cases;
+  const unsigned workers[] = {1, 2, 4, 8};
+  const std::size_t seglens[] = {2, 16, 256};
+  std::uint64_t seed = 1;
+  for (unsigned w : workers) {
+    for (std::size_t sl : seglens) {
+      for (int i = 0; i < 6; ++i) {
+        cases.push_back({seed++, w, sl});
+      }
+    }
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomPrograms, DeterminismTest,
+                         ::testing::ValuesIn(make_cases()),
+                         [](const auto& info) {
+                           return "seed" + std::to_string(info.param.seed) + "_P" +
+                                  std::to_string(info.param.workers) + "_seg" +
+                                  std::to_string(info.param.segment_length);
+                         });
+
+// Re-run a fixed nontrivial schedule many times at high worker counts to
+// shake out races that a single run might miss.
+TEST(DeterminismStress, RepeatedRandomScheduleP8) {
+  generator gen(0xfeedULL);
+  program prog = gen.make();
+  std::vector<std::vector<int>> expected_consumers;
+  std::vector<int> expected_drain;
+  generator::expected_sequences(prog, &expected_consumers, &expected_drain);
+
+  hq::scheduler sched(8);
+  for (int round = 0; round < 50; ++round) {
+    std::vector<std::vector<int>> got(expected_consumers.size());
+    std::vector<int> got_drain;
+    sched.run([&] {
+      hq::hyperqueue<int> queue(8);
+      std::size_t ci = 0;
+      for (const auto& s : prog.steps) {
+        switch (s.kind) {
+          case top_step::kProducerTree:
+            hq::spawn(run_producer, (hq::pushdep<int>)queue, s.tree.get());
+            break;
+          case top_step::kOwnerPush:
+            queue.push(s.value);
+            break;
+          case top_step::kConsumer:
+            hq::spawn(run_consumer, (hq::popdep<int>)queue, s.pop_count, &got[ci++]);
+            break;
+        }
+      }
+      if (prog.drain_at_end) {
+        hq::spawn(
+            [&got_drain](hq::popdep<int> q) {
+              while (!q.empty()) got_drain.push_back(q.pop());
+            },
+            (hq::popdep<int>)queue);
+      }
+      hq::sync();
+    });
+    for (std::size_t i = 0; i < expected_consumers.size(); ++i) {
+      ASSERT_EQ(got[i], expected_consumers[i]) << "round " << round;
+    }
+    if (prog.drain_at_end) ASSERT_EQ(got_drain, expected_drain);
+  }
+}
+
+// String payloads: catches element lifetime bugs (double destroy, leaks).
+TEST(DeterminismTypes, StringPayloadRoundtrip) {
+  hq::scheduler sched(4);
+  constexpr int kN = 300;
+  std::vector<std::string> got;
+  sched.run([&] {
+    hq::hyperqueue<std::string> queue(4);
+    hq::spawn(
+        [](hq::pushdep<std::string> q) {
+          for (int i = 0; i < kN; ++i) {
+            q.push("value-" + std::to_string(i) + std::string(i % 50, 'x'));
+          }
+        },
+        (hq::pushdep<std::string>)queue);
+    hq::spawn(
+        [&got](hq::popdep<std::string> q) {
+          while (!q.empty()) got.push_back(q.pop());
+        },
+        (hq::popdep<std::string>)queue);
+    hq::sync();
+  });
+  ASSERT_EQ(got.size(), static_cast<std::size_t>(kN));
+  for (int i = 0; i < kN; ++i) {
+    EXPECT_EQ(got[static_cast<std::size_t>(i)],
+              "value-" + std::to_string(i) + std::string(i % 50, 'x'));
+  }
+}
+
+}  // namespace

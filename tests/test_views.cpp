@@ -1,0 +1,229 @@
+// Unit tests for the split/reduce view algebra (paper Section 3.3) in
+// isolation from the scheduler, plus segment mechanics.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "core/segment.hpp"
+#include "core/view.hpp"
+
+namespace {
+
+using hq::detail::element_ops;
+
+element_ops int_ops() {
+  element_ops ops;
+  ops.size = sizeof(int);
+  ops.align = alignof(int);
+  ops.move_construct = [](void* dst, void* src) noexcept {
+    *static_cast<int*>(dst) = *static_cast<int*>(src);
+  };
+  ops.destroy = [](void*) noexcept {};
+  return ops;
+}
+
+struct SegmentFixture : ::testing::Test {
+  element_ops ops = int_ops();
+  std::vector<hq::detail::segment*> segs;
+
+  hq::detail::segment* make(std::uint64_t cap = 8) {
+    auto* s = hq::detail::segment::create(cap, &ops);
+    segs.push_back(s);
+    return s;
+  }
+
+  void TearDown() override {
+    for (auto* s : segs) {
+      s->destroy_remaining();
+      s->next.store(nullptr, std::memory_order_relaxed);
+      hq::detail::segment::destroy(s);
+    }
+  }
+
+  static void push(hq::detail::segment* s, int v) { ASSERT_TRUE(s->try_push(&v)); }
+};
+
+// ----------------------------------------------------------------- segment
+
+TEST_F(SegmentFixture, PushPopRoundtrip) {
+  auto* s = make(4);
+  for (int i = 0; i < 4; ++i) push(s, i);
+  int dummy = 99;
+  EXPECT_FALSE(s->try_push(&dummy)) << "segment must report full";
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(s->readable());
+    int out = -1;
+    s->pop_into(&out);
+    EXPECT_EQ(out, i);
+  }
+  EXPECT_FALSE(s->readable());
+}
+
+TEST_F(SegmentFixture, CircularReuseZeroAllocation) {
+  // Steady-state producer/consumer pair recycles one segment (Section 3.2).
+  auto* s = make(4);
+  for (int round = 0; round < 100; ++round) {
+    push(s, round);
+    int out = -1;
+    s->pop_into(&out);
+    ASSERT_EQ(out, round);
+  }
+  EXPECT_EQ(s->head.load(), 100u);
+  EXPECT_EQ(s->tail.load(), 100u);
+}
+
+TEST_F(SegmentFixture, DestroyRemainingCountsElements) {
+  struct counter {
+    static int& live() {
+      static int n = 0;
+      return n;
+    }
+  };
+  element_ops cops;
+  cops.size = sizeof(int);
+  cops.align = alignof(int);
+  cops.move_construct = [](void* dst, void* src) noexcept {
+    *static_cast<int*>(dst) = *static_cast<int*>(src);
+    ++counter::live();
+  };
+  cops.destroy = [](void*) noexcept { --counter::live(); };
+  auto* s = hq::detail::segment::create(8, &cops);
+  int v = 1;
+  for (int i = 0; i < 5; ++i) ASSERT_TRUE(s->try_push(&v));
+  EXPECT_EQ(counter::live(), 5);
+  s->destroy_remaining();
+  EXPECT_EQ(counter::live(), 0);
+  hq::detail::segment::destroy(s);
+}
+
+// -------------------------------------------------------------------- view
+
+using hq::detail::reduce_into;
+using hq::detail::split;
+using hq::detail::view;
+
+TEST_F(SegmentFixture, LocalViewConstruction) {
+  auto* s = make();
+  view v = view::local(s);
+  EXPECT_TRUE(v.present);
+  EXPECT_TRUE(v.head_local());
+  EXPECT_TRUE(v.tail_local());
+  EXPECT_EQ(v.head, s);
+  EXPECT_EQ(v.tail, s);
+}
+
+TEST_F(SegmentFixture, SplitProducesMatchingPair) {
+  auto* s = make();
+  auto [head_v, tail_v] = split(view::local(s), 42);
+  EXPECT_EQ(head_v.head, s);
+  EXPECT_TRUE(head_v.head_local());
+  EXPECT_FALSE(head_v.tail_local());
+  EXPECT_EQ(head_v.tail_nl, 42u);
+  EXPECT_EQ(tail_v.tail, s);
+  EXPECT_FALSE(tail_v.head_local());
+  EXPECT_EQ(tail_v.head_nl, 42u);
+}
+
+TEST_F(SegmentFixture, ReduceLocalLocalLinksSegments) {
+  auto* s1 = make();
+  auto* s2 = make();
+  view left = view::local(s1);
+  view right = view::local(s2);
+  reduce_into(left, std::move(right));
+  EXPECT_TRUE(right.empty());
+  EXPECT_EQ(left.head, s1);
+  EXPECT_EQ(left.tail, s2);
+  EXPECT_EQ(s1->next.load(), s2) << "reduce must concatenate the chains";
+}
+
+TEST_F(SegmentFixture, ReduceNonLocalPairIsInverseOfSplit) {
+  auto* s = make();
+  auto [head_v, tail_v] = split(view::local(s), 7);
+  view left = head_v;
+  reduce_into(left, std::move(tail_v));
+  // Back to the local view (s, s); no self-link was created.
+  EXPECT_TRUE(left.head_local());
+  EXPECT_TRUE(left.tail_local());
+  EXPECT_EQ(left.head, s);
+  EXPECT_EQ(left.tail, s);
+  EXPECT_EQ(s->next.load(), nullptr);
+}
+
+TEST_F(SegmentFixture, ReduceWithEmptyEitherSide) {
+  auto* s = make();
+  view v = view::local(s);
+  view e;  // ε
+  reduce_into(v, view{});  // reduce(v, ε) = v
+  EXPECT_TRUE(v.present);
+  EXPECT_EQ(v.head, s);
+  reduce_into(e, view::local(s));  // reduce(ε, v) = v
+  EXPECT_TRUE(e.present);
+  EXPECT_EQ(e.head, s);
+  view e1, e2;
+  reduce_into(e1, std::move(e2));  // reduce(ε, ε) = ε
+  EXPECT_TRUE(e1.empty());
+}
+
+TEST_F(SegmentFixture, ReduceKeepsOuterNonLocalSides) {
+  // reduce((qNL, t1), (h2, rNL)) with t1,h2 local must yield (qNL, rNL):
+  // a shared view, distinct from ε (paper Section 3.3).
+  auto* s1 = make();
+  auto* s2 = make();
+  auto [h1, t1] = split(view::local(s1), 1);  // t1 = (NL1, s1)
+  auto [h2, t2] = split(view::local(s2), 2);  // h2 = (s2, NL2)
+  view left = t1;                             // (NL1, s1)
+  reduce_into(left, std::move(h2));           // -> (NL1, NL2)
+  EXPECT_TRUE(left.present) << "shared view with two non-local sides is not empty";
+  EXPECT_FALSE(left.head_local());
+  EXPECT_FALSE(left.tail_local());
+  EXPECT_EQ(left.head_nl, 1u);
+  EXPECT_EQ(left.tail_nl, 2u);
+  EXPECT_EQ(s1->next.load(), s2);
+  // Keep algebra closed: reduce the remaining halves too.
+  view a = h1;
+  reduce_into(a, std::move(left));
+  reduce_into(a, std::move(t2));
+  EXPECT_EQ(a.head, s1);
+  EXPECT_EQ(a.tail, s2);
+}
+
+TEST_F(SegmentFixture, ThreeWayAssociativity) {
+  // ((a+b)+c) and (a+(b+c)) must produce the same chain.
+  auto* s1 = make();
+  auto* s2 = make();
+  auto* s3 = make();
+  {
+    view a = view::local(s1), b = view::local(s2), c = view::local(s3);
+    reduce_into(a, std::move(b));
+    reduce_into(a, std::move(c));
+    EXPECT_EQ(a.head, s1);
+    EXPECT_EQ(a.tail, s3);
+  }
+  EXPECT_EQ(s1->next.load(), s2);
+  EXPECT_EQ(s2->next.load(), s3);
+
+  auto* t1 = make();
+  auto* t2 = make();
+  auto* t3 = make();
+  {
+    view a = view::local(t1), b = view::local(t2), c = view::local(t3);
+    reduce_into(b, std::move(c));
+    reduce_into(a, std::move(b));
+    EXPECT_EQ(a.head, t1);
+    EXPECT_EQ(a.tail, t3);
+  }
+  EXPECT_EQ(t1->next.load(), t2);
+  EXPECT_EQ(t2->next.load(), t3);
+}
+
+TEST_F(SegmentFixture, TakeLeavesEmptyBehind) {
+  auto* s = make();
+  view v = view::local(s);
+  view w = v.take();
+  EXPECT_TRUE(v.empty());
+  EXPECT_TRUE(w.present);
+  EXPECT_EQ(w.head, s);
+}
+
+}  // namespace
