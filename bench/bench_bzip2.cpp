@@ -13,17 +13,19 @@
 
 #include "apps/bzip2/bzip2.hpp"
 #include "calibrate.hpp"
+#include "quick.hpp"
 #include "sim/models.hpp"
 #include "util/datagen.hpp"
 #include "util/mbzip.hpp"
 #include "util/table.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   hq::apps::bzip2::config cfg;
   cfg.input_bytes = 4u << 20;
   if (const char* env = std::getenv("HQ_BZIP_MB")) {
     cfg.input_bytes = static_cast<std::size_t>(std::atol(env)) << 20;
   }
+  if (hq::bench::quick_mode(argc, argv)) cfg.input_bytes = 1u << 20;
   cfg.threads = std::max(1u, std::thread::hardware_concurrency());
   auto input = hq::util::gen_text(cfg.input_bytes, cfg.seed);
 

@@ -14,16 +14,19 @@
 
 #include "apps/dedup/dedup.hpp"
 #include "calibrate.hpp"
+#include "quick.hpp"
 #include "sim/models.hpp"
 #include "util/datagen.hpp"
 #include "util/table.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  const bool quick = hq::bench::quick_mode(argc, argv);
   hq::apps::dedup::config cfg;
   cfg.input_bytes = 8u << 20;
   if (const char* env = std::getenv("HQ_DEDUP_MB")) {
     cfg.input_bytes = static_cast<std::size_t>(std::atol(env)) << 20;
   }
+  if (quick) cfg.input_bytes = 2u << 20;
   auto input =
       hq::util::gen_archive(cfg.input_bytes, cfg.dup_fraction, cfg.seed);
 
@@ -73,7 +76,7 @@ int main() {
 
   // 4. Real-execution validation on this host.
   hq::apps::dedup::config small = cfg;
-  small.input_bytes = 2u << 20;
+  small.input_bytes = quick ? (1u << 20) : (2u << 20);
   small.threads = std::max(1u, std::thread::hardware_concurrency());
   auto sinput =
       hq::util::gen_archive(small.input_bytes, small.dup_fraction, small.seed);

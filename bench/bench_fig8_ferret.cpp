@@ -15,15 +15,18 @@
 
 #include "apps/ferret/ferret.hpp"
 #include "calibrate.hpp"
+#include "quick.hpp"
 #include "sim/models.hpp"
 #include "util/table.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  const bool quick = hq::bench::quick_mode(argc, argv);
   hq::apps::ferret::config cfg;
   cfg.num_images = 300;
   if (const char* env = std::getenv("HQ_FERRET_IMAGES")) {
     cfg.num_images = static_cast<std::size_t>(std::atol(env));
   }
+  if (quick) cfg.num_images = 60;
 
   // 1. Host-measured per-item stage costs.
   auto t = hq::apps::ferret::stage_times(cfg);
@@ -31,7 +34,7 @@ int main() {
   hq::sim::flat_spec spec;
   spec.stages = {{true, t[0] / n},  {false, t[1] / n}, {false, t[2] / n},
                  {false, t[3] / n}, {false, t[4] / n}, {true, t[5] / n}};
-  spec.items = 3500;  // paper 'native' iteration count
+  spec.items = quick ? 350 : 3500;  // paper 'native' iteration count
   spec.jitter = 0.15;
   spec.seed = cfg.seed;
   const double serial = hq::sim::serial_time_flat(spec);
@@ -61,7 +64,7 @@ int main() {
 
   // 4. Real-execution validation on this host.
   hq::apps::ferret::config small = cfg;
-  small.num_images = 96;
+  small.num_images = quick ? 24 : 96;
   small.threads = std::max(1u, std::thread::hardware_concurrency());
   auto serial_r = hq::apps::ferret::run_serial(small);
   auto pth_r = hq::apps::ferret::run_pthreads(small);

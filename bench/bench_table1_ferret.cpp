@@ -4,19 +4,22 @@
 // machine); the *shape* — ranking-dominated, input ≈4.5% serial — is the
 // reproduced claim.
 //
-// Environment knobs: HQ_FERRET_IMAGES (default 300).
+// Environment knobs: HQ_FERRET_IMAGES (default 300). --quick shrinks the
+// workload for smoke testing.
 #include <cstdlib>
 #include <string>
 
 #include "apps/ferret/ferret.hpp"
+#include "quick.hpp"
 #include "util/table.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   hq::apps::ferret::config cfg;
   cfg.num_images = 300;
   if (const char* env = std::getenv("HQ_FERRET_IMAGES")) {
     cfg.num_images = static_cast<std::size_t>(std::atol(env));
   }
+  if (hq::bench::quick_mode(argc, argv)) cfg.num_images = 40;
 
   auto t = hq::apps::ferret::stage_times(cfg);
   double total = 0;

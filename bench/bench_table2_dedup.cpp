@@ -2,20 +2,23 @@
 // Shape claims: compression dominates (~74%), output is the binding serial
 // stage (~8%), refinement amplifies coarse chunks into many fine chunks.
 //
-// Environment knobs: HQ_DEDUP_MB (default 8 MiB input).
+// Environment knobs: HQ_DEDUP_MB (default 8 MiB input). --quick shrinks the
+// workload for smoke testing.
 #include <cstdlib>
 #include <string>
 
 #include "apps/dedup/dedup.hpp"
+#include "quick.hpp"
 #include "util/datagen.hpp"
 #include "util/table.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   hq::apps::dedup::config cfg;
   cfg.input_bytes = 8u << 20;
   if (const char* env = std::getenv("HQ_DEDUP_MB")) {
     cfg.input_bytes = static_cast<std::size_t>(std::atol(env)) << 20;
   }
+  if (hq::bench::quick_mode(argc, argv)) cfg.input_bytes = 1u << 20;
   auto input =
       hq::util::gen_archive(cfg.input_bytes, cfg.dup_fraction, cfg.seed);
   auto ch = hq::apps::dedup::stage_times(cfg, input);

@@ -1,0 +1,18 @@
+// --quick: shrink the workload so every bench harness doubles as a ctest
+// smoke test (see smoke_* entries in CMakeLists.txt). The full-size runs
+// stay the default for real measurements; --quick overrides the size knobs
+// (including the HQ_* environment variables) with small values.
+#pragma once
+
+#include <string_view>
+
+namespace hq::bench {
+
+inline bool quick_mode(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::string_view(argv[i]) == "--quick") return true;
+  }
+  return false;
+}
+
+}  // namespace hq::bench

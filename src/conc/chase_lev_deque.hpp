@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "conc/cache.hpp"
+#include "conc/tsan.hpp"
 
 namespace hq {
 
@@ -42,8 +43,12 @@ class chase_lev_deque {
       a = grow(a, b, t);
     }
     a->put(b, item);
+#if HQ_TSAN
+    bottom_.value.store(b + 1, std::memory_order_seq_cst);
+#else
     std::atomic_thread_fence(std::memory_order_release);
     bottom_.value.store(b + 1, std::memory_order_relaxed);
+#endif
   }
 
   /// Owner only: LIFO pop; nullptr when the deque is empty or the last
@@ -51,9 +56,14 @@ class chase_lev_deque {
   T* pop_bottom() {
     const std::int64_t b = bottom_.value.load(std::memory_order_relaxed) - 1;
     ring* a = array_.load(std::memory_order_relaxed);
+#if HQ_TSAN
+    bottom_.value.store(b, std::memory_order_seq_cst);
+    std::int64_t t = top_.value.load(std::memory_order_seq_cst);
+#else
     bottom_.value.store(b, std::memory_order_relaxed);
     std::atomic_thread_fence(std::memory_order_seq_cst);
     std::int64_t t = top_.value.load(std::memory_order_relaxed);
+#endif
     T* item = nullptr;
     if (t <= b) {
       item = a->get(b);
@@ -74,9 +84,14 @@ class chase_lev_deque {
   /// Any thread: FIFO steal; nullptr when empty or on a lost race (callers
   /// treat both as "retry elsewhere").
   T* steal() {
+#if HQ_TSAN
+    std::int64_t t = top_.value.load(std::memory_order_seq_cst);
+    const std::int64_t b = bottom_.value.load(std::memory_order_seq_cst);
+#else
     std::int64_t t = top_.value.load(std::memory_order_acquire);
     std::atomic_thread_fence(std::memory_order_seq_cst);
     const std::int64_t b = bottom_.value.load(std::memory_order_acquire);
+#endif
     T* item = nullptr;
     if (t < b) {
       ring* a = array_.load(std::memory_order_acquire);

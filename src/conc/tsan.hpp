@@ -1,0 +1,21 @@
+// ThreadSanitizer detection.
+//
+// TSan does not model std::atomic_thread_fence, so fence-based algorithms
+// (Chase–Lev deque, SPSC ring fast paths) report false races under
+// -fsanitize=thread even when correct. Where a fence carries the ordering,
+// code guarded by HQ_TSAN strengthens the per-variable memory orders
+// instead — same semantics, visible to the race detector, and compiled out
+// entirely in normal builds.
+#pragma once
+
+#if defined(__SANITIZE_THREAD__)
+#define HQ_TSAN 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define HQ_TSAN 1
+#endif
+#endif
+
+#ifndef HQ_TSAN
+#define HQ_TSAN 0
+#endif

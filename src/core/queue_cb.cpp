@@ -43,6 +43,10 @@ queue_cb::~queue_cb() {
          "segment leak: some segment was never linked into the queue chain");
 }
 
+void queue_cb::release() noexcept {
+  if (refs.fetch_sub(1, std::memory_order_acq_rel) == 1) delete this;
+}
+
 segment* queue_cb::alloc_segment() {
   {
     std::lock_guard<spinlock> lk(free_mu);
@@ -64,7 +68,7 @@ void queue_cb::recycle_segment(segment* s) {
   free_list = s;
 }
 
-qattach* queue_cb::my_attachment(std::uint8_t need) {
+qattach* queue_cb::my_attachment([[maybe_unused]] std::uint8_t need) {
   task_frame* fr = current_frame();
   assert(fr != nullptr && "hyperqueue operations are only valid inside a task");
   for (qattach* a : fr->attachments) {

@@ -85,9 +85,9 @@ struct queue_cb {
 
   // ---- lifetime ----------------------------------------------------------
   void add_ref() noexcept { refs.fetch_add(1, std::memory_order_relaxed); }
-  void release() noexcept {
-    if (refs.fetch_sub(1, std::memory_order_acq_rel) == 1) delete this;
-  }
+  // Out of line: an inlined `delete this` trips GCC's -Wuse-after-free
+  // interprocedural analysis at wrapper destruction sites.
+  void release() noexcept;
 
   /// Create the owner attachment on the constructing task's frame and build
   /// the initial segment + (queue, user) view pair.

@@ -4,6 +4,8 @@
 #include <chrono>
 #include <random>
 
+#include "core/queue_cb.hpp"  // qattach, for the nested-execution safety check
+
 namespace hq {
 
 namespace detail {
@@ -126,20 +128,78 @@ task_frame* scheduler::find_task(worker_ctx& w) {
   return nullptr;
 }
 
+namespace {
+
+bool is_spawn_ancestor(const task_frame* anc, const task_frame* t) {
+  for (const task_frame* p = t->parent; p != nullptr; p = p->parent) {
+    if (p == anc) return true;
+  }
+  return false;
+}
+
+/// Help-while-blocked deadlock avoidance. A blocking wait that helps may
+/// pull any ready task, including a pop-privileged (consumer) task `cand`.
+/// Executing it nested on this worker is unsafe when a frame `f` suspended
+/// on the worker's execution stack holds a live *spawned* push attachment on
+/// a queue `cand` pops: cand's blocking pop can wait for f's producer
+/// subtree to complete (older_pushers counts it), while f resumes only after
+/// cand returns — a cycle that spins forever. Spawn-tree ancestors of cand
+/// are exempt: a descendant consumer never waits on an ancestor's own pushes
+/// (older_pushers sums left siblings only), which also keeps the paper's
+/// producer-spawns-consumer idiom executable on one worker. The owner
+/// attachment (parent == nullptr) is exempt for the same reason.
+/// All frames inspected are either suspended on this worker's own stack or
+/// not yet started, so their attachment lists are stable.
+bool safe_to_nest(task_frame* host, task_frame* cand) {
+  for (detail::qattach* at : cand->attachments) {
+    if ((at->priv & detail::kPrivPop) == 0) continue;
+    for (task_frame* f = host; f != nullptr; f = f->exec_parent) {
+      if (is_spawn_ancestor(f, cand)) continue;
+      for (detail::qattach* af : f->attachments) {
+        if (af->q == at->q && (af->priv & detail::kPrivPush) != 0 &&
+            af->parent != nullptr) {
+          return false;
+        }
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
 bool scheduler::help_one() {
   worker_ctx* w = detail::t_worker;
   if (w == nullptr || w->sched != this) return false;
-  task_frame* t = find_task(*w);
-  if (t == nullptr) return false;
-  st_helps_.fetch_add(1, std::memory_order_relaxed);
-  execute(t);
-  return true;
+  // Two attempts: if the first pick is unsafe to nest, re-expose it and try
+  // the opposite end of the local deque once (steal takes the oldest task).
+  // When the deque held nothing else, steal hands the deferred task straight
+  // back — recognize it and stop rather than churn.
+  task_frame* deferred = nullptr;
+  for (int attempt = 0; attempt < 2; ++attempt) {
+    task_frame* t = attempt == 0 ? find_task(*w) : w->deque.steal();
+    if (t == nullptr) return false;
+    if (t == deferred) {
+      w->deque.push_bottom(t);  // already exposed and advertised once
+      return false;
+    }
+    if (w->current != nullptr && !safe_to_nest(w->current, t)) {
+      enqueue(t);  // re-expose: a parked worker can run it at top level
+      deferred = t;
+      continue;
+    }
+    st_helps_.fetch_add(1, std::memory_order_relaxed);
+    execute(t);
+    return true;
+  }
+  return false;
 }
 
 void scheduler::execute(task_frame* t) {
   worker_ctx* w = detail::t_worker;
   assert(w != nullptr);
   task_frame* prev = w->current;
+  t->exec_parent = prev;
   w->current = t;
   st_executed_.fetch_add(1, std::memory_order_relaxed);
 

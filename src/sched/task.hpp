@@ -36,6 +36,11 @@ struct task_frame {
   task_frame* const parent;
   const unsigned depth;
 
+  /// Frame this one is nested on via help-while-blocked execution (the
+  /// worker's execution stack, not the spawn tree). Set by execute(); only
+  /// meaningful while the frame runs, and only read by its own worker.
+  task_frame* exec_parent = nullptr;
+
   task_fn fn;
 
   /// Children spawned and not yet completed; sync() waits for zero.

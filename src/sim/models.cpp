@@ -3,10 +3,19 @@
 #include <algorithm>
 #include <cassert>
 #include <deque>
+#include <functional>
 #include <map>
-#include <memory>
 
 #include "util/rng.hpp"
+
+// All model state and the mutually recursive callback std::functions live on
+// the simulating function's stack: every callback runs inside eng.run(),
+// which returns only when the event queues are empty, so reference captures
+// of locals are safe and there is nothing to free afterwards. (The previous
+// shared_ptr<std::function> formulation leaked every run through
+// self-referential capture cycles.) Scalars like item/stage indices are
+// captured by value — the variables they come from die before the callback
+// fires.
 
 namespace hq::sim {
 
@@ -111,17 +120,16 @@ struct flat_dag {
 double sim_flat_objects(const flat_spec& spec, const machine& m,
                         const overheads& ov, bool overlap_first_stage) {
   engine eng({m.cores, m.fpu_pairs, m.fpu_penalty});
-  auto dag = std::make_shared<flat_dag>(spec, eng, ov.task_spawn,
-                                        /*serial_holds_core=*/false);
+  flat_dag dag(spec, eng, ov.task_spawn, /*serial_holds_core=*/false);
   double offset = 0;
   if (overlap_first_stage) {
-    for (std::size_t i = 0; i < spec.items; ++i) dag->arrive(i, 0);
+    for (std::size_t i = 0; i < spec.items; ++i) dag.arrive(i, 0);
   } else {
     // Unrestructured input: the driver executes stage 0 for every item
     // before the pipeline tasks run (Section 6.1's "objects" ferret).
-    for (std::size_t i = 0; i < spec.items; ++i) offset += dag->costs[i][0];
-    dag->serial_next[0] = spec.items;
-    for (std::size_t i = 0; i < spec.items; ++i) dag->arrive(i, 1);
+    for (std::size_t i = 0; i < spec.items; ++i) offset += dag.costs[i][0];
+    dag.serial_next[0] = spec.items;
+    for (std::size_t i = 0; i < spec.items; ++i) dag.arrive(i, 1);
   }
   return offset + eng.run();
 }
@@ -131,9 +139,8 @@ double sim_flat_hyperqueue(const flat_spec& spec, const machine& m,
   engine eng({m.cores, m.fpu_pairs, m.fpu_penalty});
   // Queue hops between every stage pair cost one push+pop per item.
   const double per_task = ov.task_spawn + ov.hq_queue_op;
-  auto dag = std::make_shared<flat_dag>(spec, eng, per_task,
-                                        /*serial_holds_core=*/true);
-  for (std::size_t i = 0; i < spec.items; ++i) dag->arrive(i, 0);
+  flat_dag dag(spec, eng, per_task, /*serial_holds_core=*/true);
+  for (std::size_t i = 0; i < spec.items; ++i) dag.arrive(i, 0);
   return eng.run();
 }
 
@@ -142,7 +149,7 @@ double sim_flat_hyperqueue(const flat_spec& spec, const machine& m,
 double sim_flat_tbb(const flat_spec& spec, const machine& m, const overheads& ov,
                     std::size_t max_tokens) {
   engine eng({m.cores, m.fpu_pairs, m.fpu_penalty});
-  auto costs = std::make_shared<std::vector<std::vector<double>>>(flat_costs(spec));
+  const auto costs = flat_costs(spec);
 
   struct state_t {
     std::size_t next_token = 0;
@@ -151,56 +158,54 @@ double sim_flat_tbb(const flat_spec& spec, const machine& m, const overheads& ov
     std::vector<bool> serial_busy;
     std::vector<std::map<std::size_t, bool>> parked;
   };
-  auto st = std::make_shared<state_t>();
-  st->serial_next.assign(spec.stages.size(), 0);
-  st->serial_busy.assign(spec.stages.size(), false);
-  st->parked.resize(spec.stages.size());
+  state_t st;
+  st.serial_next.assign(spec.stages.size(), 0);
+  st.serial_busy.assign(spec.stages.size(), false);
+  st.parked.resize(spec.stages.size());
 
   // Mutually recursive: declared as std::function for shared callbacks.
-  auto advance = std::make_shared<std::function<void(std::size_t, std::size_t)>>();
-  auto pump = std::make_shared<std::function<void()>>();
+  std::function<void(std::size_t, std::size_t)> advance;
+  std::function<void()> pump;
 
-  *advance = [&eng, costs, st, advance, pump, &spec, &ov,
-              max_tokens](std::size_t item, std::size_t stage) {
+  advance = [&](std::size_t item, std::size_t stage) {
     if (stage >= spec.stages.size()) {
-      --st->in_flight;
-      (*pump)();
+      --st.in_flight;
+      pump();
       return;
     }
     if (spec.stages[stage].serial) {
-      if (st->serial_busy[stage] || item != st->serial_next[stage]) {
-        st->parked[stage].emplace(item, true);
+      if (st.serial_busy[stage] || item != st.serial_next[stage]) {
+        st.parked[stage].emplace(item, true);
         return;
       }
-      st->serial_busy[stage] = true;
-      eng.submit((*costs)[item][stage] + ov.tbb_token,
-                 [st, advance, item, stage] {
-                   st->serial_busy[stage] = false;
-                   st->serial_next[stage] = item + 1;
-                   auto it = st->parked[stage].find(item + 1);
-                   if (it != st->parked[stage].end()) {
-                     st->parked[stage].erase(it);
-                     (*advance)(item + 1, stage);
-                   }
-                   (*advance)(item, stage + 1);
-                 });
+      st.serial_busy[stage] = true;
+      eng.submit(costs[item][stage] + ov.tbb_token, [&, item, stage] {
+        st.serial_busy[stage] = false;
+        st.serial_next[stage] = item + 1;
+        auto it = st.parked[stage].find(item + 1);
+        if (it != st.parked[stage].end()) {
+          st.parked[stage].erase(it);
+          advance(item + 1, stage);
+        }
+        advance(item, stage + 1);
+      });
     } else {
-      eng.submit((*costs)[item][stage] + ov.tbb_token,
-                 [advance, item, stage] { (*advance)(item, stage + 1); });
+      eng.submit(costs[item][stage] + ov.tbb_token,
+                 [&, item, stage] { advance(item, stage + 1); });
     }
   };
 
-  *pump = [st, advance, &spec, max_tokens]() {
-    while (st->in_flight < max_tokens && st->next_token < spec.items) {
-      const std::size_t item = st->next_token++;
-      ++st->in_flight;
-      (*advance)(item, 0);  // stage 0 is serial: ordering enforced inside
+  pump = [&]() {
+    while (st.in_flight < max_tokens && st.next_token < spec.items) {
+      const std::size_t item = st.next_token++;
+      ++st.in_flight;
+      advance(item, 0);  // stage 0 is serial: ordering enforced inside
     }
   };
 
-  (*pump)();
+  pump();
   const double t = eng.run();
-  assert(st->in_flight == 0 && st->next_token == spec.items);
+  assert(st.in_flight == 0 && st.next_token == spec.items);
   return t;
 }
 
@@ -209,10 +214,10 @@ double sim_flat_tbb(const flat_spec& spec, const machine& m, const overheads& ov
 double sim_flat_pthreads(const flat_spec& spec, const machine& m,
                          const overheads& ov, unsigned threads_per_stage) {
   engine eng({m.cores, m.fpu_pairs, m.fpu_penalty});
-  auto costs = std::make_shared<std::vector<std::vector<double>>>(flat_costs(spec));
+  const auto costs = flat_costs(spec);
   // Oversubscription locality stretch (see overheads::pth_oversub_penalty).
   std::size_t parallel_stages = 0;
-  for (const auto& st : spec.stages) parallel_stages += st.serial ? 0 : 1;
+  for (const auto& stg : spec.stages) parallel_stages += stg.serial ? 0 : 1;
   const double ratio = static_cast<double>(threads_per_stage) *
                        static_cast<double>(parallel_stages) /
                        static_cast<double>(m.cores);
@@ -228,16 +233,16 @@ double sim_flat_pthreads(const flat_spec& spec, const machine& m,
     unsigned active = 0;
     unsigned limit = 1;
   };
-  auto st = std::make_shared<std::vector<stage_state>>(spec.stages.size());
+  std::vector<stage_state> st(spec.stages.size());
   for (std::size_t s = 0; s < spec.stages.size(); ++s) {
-    (*st)[s].limit = spec.stages[s].serial ? 1 : threads_per_stage;
+    st[s].limit = spec.stages[s].serial ? 1 : threads_per_stage;
   }
 
-  auto feed = std::make_shared<std::function<void(std::size_t)>>();
-  auto push_item = std::make_shared<std::function<void(std::size_t, std::size_t)>>();
+  std::function<void(std::size_t)> feed;
+  std::function<void(std::size_t, std::size_t)> push_item;
 
-  *feed = [&eng, costs, st, feed, push_item, &spec, &ov, stretch](std::size_t s) {
-    stage_state& ss = (*st)[s];
+  feed = [&](std::size_t s) {
+    stage_state& ss = st[s];
     while (ss.active < ss.limit) {
       std::size_t item;
       if (spec.stages[s].serial) {
@@ -252,26 +257,25 @@ double sim_flat_pthreads(const flat_spec& spec, const machine& m,
         ss.queue.pop_front();
       }
       ++ss.active;
-      eng.submit((*costs)[item][s] * stretch + ov.pth_queue_op,
-                 [st, feed, push_item, item, s] {
-                   --(*st)[s].active;
-                   (*push_item)(item, s + 1);
-                   (*feed)(s);
-                 });
+      eng.submit(costs[item][s] * stretch + ov.pth_queue_op, [&, item, s] {
+        --st[s].active;
+        push_item(item, s + 1);
+        feed(s);
+      });
     }
   };
 
-  *push_item = [st, feed, &spec](std::size_t item, std::size_t s) {
+  push_item = [&](std::size_t item, std::size_t s) {
     if (s >= spec.stages.size()) return;
     if (spec.stages[s].serial) {
-      (*st)[s].reorder.emplace(item, true);
+      st[s].reorder.emplace(item, true);
     } else {
-      (*st)[s].queue.push_back(item);
+      st[s].queue.push_back(item);
     }
-    (*feed)(s);
+    feed(s);
   };
 
-  for (std::size_t i = 0; i < spec.items; ++i) (*push_item)(i, 0);
+  for (std::size_t i = 0; i < spec.items; ++i) push_item(i, 0);
   return eng.run();
 }
 
@@ -381,22 +385,21 @@ double serial_time_nested(const nested_spec& spec) {
 double sim_nested_hyperqueue(const nested_spec& spec, const machine& m,
                              const overheads& ov) {
   engine eng({m.cores, m.fpu_pairs, m.fpu_penalty});
-  auto nc = std::make_shared<nested_costs>(make_nested_costs(spec));
-  auto sink = std::make_shared<ordered_sink>(eng, *nc, ov.hq_queue_op,
-                                             /*holds_core=*/true);
+  const nested_costs nc = make_nested_costs(spec);
+  ordered_sink sink(eng, nc, ov.hq_queue_op, /*holds_core=*/true);
 
   // Fragment chain (serial, overlapped); per coarse chunk: a refine task,
   // then a merged dedup+compress task that streams each fine chunk to the
   // sink as it finishes (Figure 10c). The merged task keeps its worker
   // between fine chunks (submit_front) — it is one task in the runtime.
-  auto dc_step = std::make_shared<std::function<void(std::size_t, std::size_t)>>();
-  *dc_step = [&eng, nc, sink, dc_step, &ov](std::size_t c, std::size_t f) {
-    if (f >= nc->fine_count[c]) return;
-    auto body = [nc, sink, dc_step, c, f] {
-      sink->mark_ready(c, f);
-      (*dc_step)(c, f + 1);
+  std::function<void(std::size_t, std::size_t)> dc_step;
+  dc_step = [&](std::size_t c, std::size_t f) {
+    if (f >= nc.fine_count[c]) return;
+    auto body = [&, c, f] {
+      sink.mark_ready(c, f);
+      dc_step(c, f + 1);
     };
-    const double cost = nc->dedup_c[c][f] + nc->compress_c[c][f] + ov.hq_queue_op;
+    const double cost = nc.dedup_c[c][f] + nc.compress_c[c][f] + ov.hq_queue_op;
     if (f == 0) {
       eng.submit(cost, std::move(body));
     } else {
@@ -404,24 +407,22 @@ double sim_nested_hyperqueue(const nested_spec& spec, const machine& m,
     }
   };
 
-  auto frag = std::make_shared<std::function<void(std::size_t)>>();
-  *frag = [&eng, nc, frag, dc_step, &ov, &spec](std::size_t c) {
+  std::function<void(std::size_t)> frag;
+  frag = [&](std::size_t c) {
     if (c >= spec.coarse) return;
-    eng.submit(nc->fragment_c[c] + 2 * ov.task_spawn, [&eng, nc, frag, dc_step,
-                                                       &ov, c] {
-      eng.submit(nc->refine_c[c] + ov.task_spawn,
-                 [dc_step, c] { (*dc_step)(c, 0); });
-      (*frag)(c + 1);
+    eng.submit(nc.fragment_c[c] + 2 * ov.task_spawn, [&, c] {
+      eng.submit(nc.refine_c[c] + ov.task_spawn, [&, c] { dc_step(c, 0); });
+      frag(c + 1);
     });
   };
-  (*frag)(0);
+  frag(0);
   return eng.run();
 }
 
 double sim_nested_objects(const nested_spec& spec, const machine& m,
                           const overheads& ov) {
   engine eng({m.cores, m.fpu_pairs, m.fpu_penalty});
-  auto nc = std::make_shared<nested_costs>(make_nested_costs(spec));
+  const nested_costs nc = make_nested_costs(spec);
 
   // Per coarse chunk: refine -> one lumped dedup+compress task -> one lumped
   // output task serialized in coarse order (Figure 10a: the whole list must
@@ -431,52 +432,50 @@ double sim_nested_objects(const nested_spec& spec, const machine& m,
     std::map<std::size_t, bool> out_ready;
     bool out_busy = false;
   };
-  auto st = std::make_shared<state_t>();
+  state_t st;
 
-  auto out_pump = std::make_shared<std::function<void()>>();
-  *out_pump = [&eng, nc, st, out_pump, &ov]() {
-    if (st->out_busy) return;
-    auto it = st->out_ready.find(st->out_next);
-    if (it == st->out_ready.end()) return;
-    st->out_ready.erase(it);
-    st->out_busy = true;
-    const std::size_t c = st->out_next;
+  std::function<void()> out_pump;
+  out_pump = [&]() {
+    if (st.out_busy) return;
+    auto it = st.out_ready.find(st.out_next);
+    if (it == st.out_ready.end()) return;
+    st.out_ready.erase(it);
+    st.out_busy = true;
+    const std::size_t c = st.out_next;
     double cost = ov.task_spawn;
-    for (double v : nc->output_c[c]) cost += v;
-    eng.submit(cost, [st, out_pump] {
-      st->out_busy = false;
-      ++st->out_next;
-      (*out_pump)();
+    for (double v : nc.output_c[c]) cost += v;
+    eng.submit(cost, [&] {
+      st.out_busy = false;
+      ++st.out_next;
+      out_pump();
     });
   };
 
-  auto frag = std::make_shared<std::function<void(std::size_t)>>();
-  *frag = [&eng, nc, st, frag, out_pump, &ov, &spec](std::size_t c) {
+  std::function<void(std::size_t)> frag;
+  frag = [&](std::size_t c) {
     if (c >= spec.coarse) return;
-    eng.submit(nc->fragment_c[c] + 3 * ov.task_spawn,
-               [&eng, nc, st, frag, out_pump, &ov, c] {
-                 eng.submit(nc->refine_c[c] + ov.task_spawn, [&eng, nc, st,
-                                                              out_pump, &ov, c] {
-                   double dc = ov.task_spawn;
-                   for (std::size_t i = 0; i < nc->fine_count[c]; ++i) {
-                     dc += nc->dedup_c[c][i] + nc->compress_c[c][i];
-                   }
-                   eng.submit(dc, [st, out_pump, c] {
-                     st->out_ready.emplace(c, true);
-                     (*out_pump)();
-                   });
-                 });
-                 (*frag)(c + 1);
-               });
+    eng.submit(nc.fragment_c[c] + 3 * ov.task_spawn, [&, c] {
+      eng.submit(nc.refine_c[c] + ov.task_spawn, [&, c] {
+        double dc = ov.task_spawn;
+        for (std::size_t i = 0; i < nc.fine_count[c]; ++i) {
+          dc += nc.dedup_c[c][i] + nc.compress_c[c][i];
+        }
+        eng.submit(dc, [&, c] {
+          st.out_ready.emplace(c, true);
+          out_pump();
+        });
+      });
+      frag(c + 1);
+    });
   };
-  (*frag)(0);
+  frag(0);
   return eng.run();
 }
 
 double sim_nested_tbb(const nested_spec& spec, const machine& m,
                       const overheads& ov, std::size_t max_tokens) {
   engine eng({m.cores, m.fpu_pairs, m.fpu_penalty});
-  auto nc = std::make_shared<nested_costs>(make_nested_costs(spec));
+  const nested_costs nc = make_nested_costs(spec);
 
   struct state_t {
     std::size_t next_token = 0;
@@ -486,53 +485,51 @@ double sim_nested_tbb(const nested_spec& spec, const machine& m,
     std::map<std::size_t, bool> out_ready;
     bool out_busy = false;
   };
-  auto st = std::make_shared<state_t>();
-  auto pump = std::make_shared<std::function<void()>>();
+  state_t st;
+  std::function<void()> pump;
 
-  auto out_pump = std::make_shared<std::function<void()>>();
-  *out_pump = [&eng, nc, st, out_pump, pump, &ov]() {
-    if (st->out_busy) return;
-    auto it = st->out_ready.find(st->out_next);
-    if (it == st->out_ready.end()) return;
-    st->out_ready.erase(it);
-    st->out_busy = true;
-    const std::size_t c = st->out_next;
+  std::function<void()> out_pump;
+  out_pump = [&]() {
+    if (st.out_busy) return;
+    auto it = st.out_ready.find(st.out_next);
+    if (it == st.out_ready.end()) return;
+    st.out_ready.erase(it);
+    st.out_busy = true;
+    const std::size_t c = st.out_next;
     double cost = ov.tbb_token;
-    for (double v : nc->output_c[c]) cost += v;
-    eng.submit(cost, [st, out_pump, pump] {
-      st->out_busy = false;
-      ++st->out_next;
-      --st->in_flight;
-      (*out_pump)();
-      (*pump)();
+    for (double v : nc.output_c[c]) cost += v;
+    eng.submit(cost, [&] {
+      st.out_busy = false;
+      ++st.out_next;
+      --st.in_flight;
+      out_pump();
+      pump();
     });
   };
 
-  *pump = [&eng, nc, st, pump, out_pump, &ov, &spec, max_tokens]() {
-    while (!st->frag_busy && st->in_flight < max_tokens &&
-           st->next_token < spec.coarse) {
-      const std::size_t c = st->next_token++;
-      ++st->in_flight;
-      st->frag_busy = true;
-      eng.submit(nc->fragment_c[c] + ov.tbb_token, [&eng, nc, st, pump, out_pump,
-                                                    &ov, c] {
-        st->frag_busy = false;
-        eng.submit(nc->refine_c[c] + ov.tbb_token, [&eng, nc, st, out_pump, &ov,
-                                                    c] {
+  pump = [&]() {
+    while (!st.frag_busy && st.in_flight < max_tokens &&
+           st.next_token < spec.coarse) {
+      const std::size_t c = st.next_token++;
+      ++st.in_flight;
+      st.frag_busy = true;
+      eng.submit(nc.fragment_c[c] + ov.tbb_token, [&, c] {
+        st.frag_busy = false;
+        eng.submit(nc.refine_c[c] + ov.tbb_token, [&, c] {
           double dc = ov.tbb_token;
-          for (std::size_t i = 0; i < nc->fine_count[c]; ++i) {
-            dc += nc->dedup_c[c][i] + nc->compress_c[c][i];
+          for (std::size_t i = 0; i < nc.fine_count[c]; ++i) {
+            dc += nc.dedup_c[c][i] + nc.compress_c[c][i];
           }
-          eng.submit(dc, [st, out_pump, c] {
-            st->out_ready.emplace(c, true);
-            (*out_pump)();
+          eng.submit(dc, [&, c] {
+            st.out_ready.emplace(c, true);
+            out_pump();
           });
         });
-        (*pump)();
+        pump();
       });
     }
   };
-  (*pump)();
+  pump();
   return eng.run();
 }
 
@@ -547,11 +544,10 @@ double sim_nested_pthreads(const nested_spec& spec, const machine& m,
                        static_cast<double>(m.cores);
   const double ramp = std::min(1.0, static_cast<double>(m.cores - 1) / 7.0);
   const double stretch = 1.0 + (ratio > 1.0 ? ov.pth_oversub_penalty * ramp : 0.0);
-  auto nc = std::make_shared<nested_costs>(make_nested_costs(spec));
+  const nested_costs nc = make_nested_costs(spec);
   // The single output thread timeshares like every other stage thread.
-  auto sink = std::make_shared<ordered_sink>(
-      eng, *nc, ov.pth_queue_op, /*holds_core=*/true);
-  sink->cost_scale = stretch;
+  ordered_sink sink(eng, nc, ov.pth_queue_op, /*holds_core=*/true);
+  sink.cost_scale = stretch;
 
   // Stage pools at fine granularity; refine amplifies coarse -> fine.
   struct pool {
@@ -560,80 +556,75 @@ double sim_nested_pthreads(const nested_spec& spec, const machine& m,
     unsigned limit;
     explicit pool(unsigned l) : limit(l) {}
   };
-  auto refine_pool = std::make_shared<pool>(threads_per_stage);
-  auto dedup_pool = std::make_shared<pool>(threads_per_stage);
-  auto compress_pool = std::make_shared<pool>(threads_per_stage);
+  pool refine_pool(threads_per_stage);
+  pool dedup_pool(threads_per_stage);
+  pool compress_pool(threads_per_stage);
 
-  auto feed_compress = std::make_shared<std::function<void()>>();
-  *feed_compress = [&eng, nc, sink, compress_pool, feed_compress, &ov, stretch]() {
-    while (compress_pool->active < compress_pool->limit &&
-           !compress_pool->queue.empty()) {
-      auto [c, f] = compress_pool->queue.front();
-      compress_pool->queue.pop_front();
-      ++compress_pool->active;
-      eng.submit(nc->compress_c[c][f] * stretch + ov.pth_queue_op,
-                 [nc, sink, compress_pool, feed_compress, c, f] {
-                   --compress_pool->active;
-                   sink->mark_ready(c, f);
-                   (*feed_compress)();
+  std::function<void()> feed_compress;
+  feed_compress = [&]() {
+    while (compress_pool.active < compress_pool.limit &&
+           !compress_pool.queue.empty()) {
+      auto [c, f] = compress_pool.queue.front();
+      compress_pool.queue.pop_front();
+      ++compress_pool.active;
+      eng.submit(nc.compress_c[c][f] * stretch + ov.pth_queue_op,
+                 [&, c = c, f = f] {
+                   --compress_pool.active;
+                   sink.mark_ready(c, f);
+                   feed_compress();
                  });
     }
   };
 
-  auto feed_dedup = std::make_shared<std::function<void()>>();
-  *feed_dedup = [&eng, nc, sink, dedup_pool, compress_pool, feed_dedup,
-                 feed_compress, &ov, stretch]() {
-    while (dedup_pool->active < dedup_pool->limit && !dedup_pool->queue.empty()) {
-      auto [c, f] = dedup_pool->queue.front();
-      dedup_pool->queue.pop_front();
-      ++dedup_pool->active;
-      eng.submit(nc->dedup_c[c][f] * stretch + ov.pth_queue_op,
-                 [nc, sink, dedup_pool, compress_pool, feed_dedup, feed_compress,
-                  c, f] {
-                   --dedup_pool->active;
-                   if (nc->compress_c[c][f] > 0) {
-                     compress_pool->queue.emplace_back(c, f);
-                     (*feed_compress)();
-                   } else {
-                     sink->mark_ready(c, f);
-                   }
-                   (*feed_dedup)();
-                 });
+  std::function<void()> feed_dedup;
+  feed_dedup = [&]() {
+    while (dedup_pool.active < dedup_pool.limit && !dedup_pool.queue.empty()) {
+      auto [c, f] = dedup_pool.queue.front();
+      dedup_pool.queue.pop_front();
+      ++dedup_pool.active;
+      eng.submit(nc.dedup_c[c][f] * stretch + ov.pth_queue_op, [&, c = c, f = f] {
+        --dedup_pool.active;
+        if (nc.compress_c[c][f] > 0) {
+          compress_pool.queue.emplace_back(c, f);
+          feed_compress();
+        } else {
+          sink.mark_ready(c, f);
+        }
+        feed_dedup();
+      });
     }
   };
 
-  auto feed_refine = std::make_shared<std::function<void()>>();
-  *feed_refine = [&eng, nc, refine_pool, dedup_pool, feed_refine, feed_dedup,
-                  &ov, stretch]() {
-    while (refine_pool->active < refine_pool->limit &&
-           !refine_pool->queue.empty()) {
-      auto [c, unused] = refine_pool->queue.front();
-      refine_pool->queue.pop_front();
-      ++refine_pool->active;
-      eng.submit(nc->refine_c[c] * stretch + ov.pth_queue_op,
-                 [nc, refine_pool, dedup_pool, feed_refine, feed_dedup, c] {
-                   --refine_pool->active;
-                   for (std::size_t f = 0; f < nc->fine_count[c]; ++f) {
-                     dedup_pool->queue.emplace_back(c, f);
-                   }
-                   (*feed_dedup)();
-                   (*feed_refine)();
-                 });
+  std::function<void()> feed_refine;
+  feed_refine = [&]() {
+    while (refine_pool.active < refine_pool.limit &&
+           !refine_pool.queue.empty()) {
+      auto [c, unused] = refine_pool.queue.front();
+      (void)unused;
+      refine_pool.queue.pop_front();
+      ++refine_pool.active;
+      eng.submit(nc.refine_c[c] * stretch + ov.pth_queue_op, [&, c = c] {
+        --refine_pool.active;
+        for (std::size_t f = 0; f < nc.fine_count[c]; ++f) {
+          dedup_pool.queue.emplace_back(c, f);
+        }
+        feed_dedup();
+        feed_refine();
+      });
     }
   };
 
   // Fragment: serial chain on the driver, feeding refine.
-  auto frag = std::make_shared<std::function<void(std::size_t)>>();
-  *frag = [&eng, nc, refine_pool, frag, feed_refine, &ov, &spec](std::size_t c) {
+  std::function<void(std::size_t)> frag;
+  frag = [&](std::size_t c) {
     if (c >= spec.coarse) return;
-    eng.submit(nc->fragment_c[c] + ov.pth_queue_op,
-               [refine_pool, frag, feed_refine, c] {
-                 refine_pool->queue.emplace_back(c, 0);
-                 (*feed_refine)();
-                 (*frag)(c + 1);
-               });
+    eng.submit(nc.fragment_c[c] + ov.pth_queue_op, [&, c] {
+      refine_pool.queue.emplace_back(c, 0);
+      feed_refine();
+      frag(c + 1);
+    });
   };
-  (*frag)(0);
+  frag(0);
   return eng.run();
 }
 

@@ -18,7 +18,9 @@ bwt_result bwt_forward(const std::uint8_t* data, std::size_t len) {
   // refined from k-character to 2k-character context each round.
   std::vector<std::uint32_t> rank(n), new_rank(n);
   std::vector<std::uint32_t> order(n), tmp(n);
-  std::vector<std::uint32_t> cnt(std::max<std::size_t>(n + 1, 256));
+  // Round 0 indexes cnt[0..256] (257 slots); later rounds use classes+1 <=
+  // n+1 slots.
+  std::vector<std::uint32_t> cnt(std::max<std::size_t>(n + 1, 257));
 
   // Round 0: counting sort by first byte.
   std::fill(cnt.begin(), cnt.begin() + 257, 0u);

@@ -311,7 +311,9 @@ TEST(DeterminismStress, RepeatedRandomScheduleP8) {
     for (std::size_t i = 0; i < expected_consumers.size(); ++i) {
       ASSERT_EQ(got[i], expected_consumers[i]) << "round " << round;
     }
-    if (prog.drain_at_end) ASSERT_EQ(got_drain, expected_drain);
+    if (prog.drain_at_end) {
+      ASSERT_EQ(got_drain, expected_drain);
+    }
   }
 }
 

@@ -1,0 +1,181 @@
+// SPSC torture: two threads, one million items, randomized backoff on both
+// endpoints. Asserts the FIFO contract exactly — every value arrives, in
+// order, exactly once — for the Lamport ring, the FastForward ring, the
+// blocking bounded queue, and the raw hyperqueue segment transfer path.
+// Run these under the TSan preset (-DSANITIZE=thread) to check the memory
+// orderings, not just the outcomes.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "conc/bounded_queue.hpp"
+#include "conc/spsc_ring.hpp"
+#include "core/segment.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+constexpr std::uint64_t kItems = 1'000'000;
+
+/// Spin-then-yield retry: pure spinning makes no progress when the two
+/// endpoint threads share one hardware core (CI runners), so after a short
+/// burst of attempts give the other endpoint the core.
+template <typename TryFn>
+void retry_until(TryFn&& attempt) {
+  int spins = 0;
+  while (!attempt()) {
+    if (++spins >= 64) {
+      std::this_thread::yield();
+      spins = 0;
+    }
+  }
+}
+
+/// Occasional randomized spin so the two endpoints drift in and out of
+/// lockstep: exercises empty, full, and wraparound transitions.
+class random_backoff {
+ public:
+  explicit random_backoff(std::uint64_t seed) : rng_(seed) {}
+
+  void maybe_pause() {
+    // ~1/64 of operations pause for 1..128 spins.
+    if ((rng_.next() & 63u) == 0) {
+      const std::uint64_t spins = 1 + rng_.below(128);
+      for (std::uint64_t i = 0; i < spins; ++i) cpu_relax();
+    }
+  }
+
+ private:
+  static void cpu_relax() {
+#if defined(__x86_64__) || defined(__i386__)
+    __builtin_ia32_pause();
+#else
+    std::atomic_signal_fence(std::memory_order_seq_cst);
+#endif
+  }
+  hq::util::xoshiro256 rng_;
+};
+
+/// Values are a function of their index, so a duplicated, dropped, or
+/// reordered element is caught the moment it is popped.
+std::uint64_t value_at(std::uint64_t i) { return i * 0x9e3779b97f4a7c15ull + 1; }
+
+template <typename PushFn, typename PopFn>
+void run_torture(PushFn&& push, PopFn&& pop) {
+  std::thread producer([&] {
+    random_backoff bo(42);
+    for (std::uint64_t i = 0; i < kItems; ++i) {
+      push(value_at(i));
+      bo.maybe_pause();
+    }
+  });
+
+  // Consume every item even after a mismatch: stopping early would leave the
+  // producer blocked on a full queue and hang the join instead of failing.
+  std::uint64_t first_bad = kItems;
+  std::uint64_t bad_value = 0;
+  {
+    random_backoff bo(1337);
+    for (std::uint64_t i = 0; i < kItems; ++i) {
+      const std::uint64_t v = pop();
+      if (first_bad == kItems && v != value_at(i)) {
+        first_bad = i;
+        bad_value = v;
+      }
+      bo.maybe_pause();
+    }
+  }
+  producer.join();
+  ASSERT_EQ(first_bad, kItems)
+      << "FIFO violation (loss, duplication, or reorder) at item " << first_bad
+      << ": got " << bad_value << ", expected " << value_at(first_bad);
+}
+
+TEST(SpscTorture, LamportRingMillionItems) {
+  hq::spsc_ring<std::uint64_t> ring(1024);
+  run_torture(
+      [&](std::uint64_t v) { retry_until([&] { return ring.try_push(v); }); },
+      [&]() -> std::uint64_t {
+        std::uint64_t out = 0;
+        retry_until([&] {
+          auto v = ring.try_pop();
+          if (v) out = *v;
+          return v.has_value();
+        });
+        return out;
+      });
+  EXPECT_TRUE(ring.empty());
+}
+
+TEST(SpscTorture, LamportRingTinyCapacity) {
+  // Capacity 2: every push/pop straddles the full/empty boundary.
+  hq::spsc_ring<std::uint64_t> ring(2);
+  run_torture(
+      [&](std::uint64_t v) { retry_until([&] { return ring.try_push(v); }); },
+      [&]() -> std::uint64_t {
+        std::uint64_t out = 0;
+        retry_until([&] {
+          auto v = ring.try_pop();
+          if (v) out = *v;
+          return v.has_value();
+        });
+        return out;
+      });
+  EXPECT_TRUE(ring.empty());
+}
+
+TEST(SpscTorture, FastForwardRingMillionItems) {
+  // 0 is the nil sentinel; value_at never produces 0.
+  hq::ff_ring<std::uint64_t> ring(1024, 0);
+  run_torture(
+      [&](std::uint64_t v) { retry_until([&] { return ring.try_push(v); }); },
+      [&]() -> std::uint64_t {
+        std::uint64_t out = 0;
+        retry_until([&] {
+          auto v = ring.try_pop();
+          if (v) out = *v;
+          return v.has_value();
+        });
+        return out;
+      });
+}
+
+TEST(SpscTorture, BoundedQueueMillionItems) {
+  hq::bounded_queue<std::uint64_t> q(256);
+  run_torture([&](std::uint64_t v) { ASSERT_TRUE(q.push(v)); },
+              [&]() -> std::uint64_t {
+                auto v = q.pop();
+                EXPECT_TRUE(v.has_value());
+                return v.value_or(0);
+              });
+  EXPECT_EQ(q.size(), 0u);
+}
+
+TEST(SpscTorture, SegmentTransferMillionItems) {
+  // The hyperqueue's own SPSC fast path: one segment, producer
+  // move-constructs in, consumer pops out.
+  hq::detail::element_ops ops;
+  ops.size = sizeof(std::uint64_t);
+  ops.align = alignof(std::uint64_t);
+  ops.move_construct = [](void* dst, void* src) noexcept {
+    *static_cast<std::uint64_t*>(dst) = *static_cast<std::uint64_t*>(src);
+  };
+  ops.destroy = [](void*) noexcept {};
+  auto* seg = hq::detail::segment::create(1024, &ops);
+
+  run_torture(
+      [&](std::uint64_t v) { retry_until([&] { return seg->try_push(&v); }); },
+      [&]() -> std::uint64_t {
+        retry_until([&] { return seg->readable(); });
+        std::uint64_t out;
+        seg->pop_into(&out);
+        return out;
+      });
+
+  seg->destroy_remaining();
+  hq::detail::segment::destroy(seg);
+}
+
+}  // namespace
