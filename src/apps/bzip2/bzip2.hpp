@@ -18,7 +18,9 @@ struct config {
   std::size_t block_bytes = 128u << 10;
   unsigned threads = 1;
   std::uint64_t seed = 99;
-  std::size_t split_batch = 8;  // blocks per batch in the loop-split variant
+  std::size_t split_batch = 8;   // blocks per batch in the loop-split variant
+  std::size_t split_window = 4;  // batches in flight before a selective sync
+  std::size_t slice_batch = 16;  // blocks moved per queue slice (Section 5.2)
 };
 
 struct result {
@@ -26,13 +28,22 @@ struct result {
   double seconds = 0;
   std::size_t blocks = 0;
   std::size_t peak_segments = 0;  // hyperqueue variants: memory footprint probe
+  // Segment-pool counters summed over the pipeline's queues (hyperqueue
+  // variants): fresh allocations, pool reuses, peak segments in use.
+  std::size_t seg_allocated = 0;
+  std::size_t seg_recycled = 0;
+  std::size_t seg_high_water = 0;
 };
 
 result run_serial(const config& cfg, const std::vector<std::uint8_t>& input);
 result run_pthreads(const config& cfg, const std::vector<std::uint8_t>& input);
 result run_tbb(const config& cfg, const std::vector<std::uint8_t>& input);
 result run_objects(const config& cfg, const std::vector<std::uint8_t>& input);
+/// Slice-based hyperqueue pipeline (the default; Section 5.2 batching).
 result run_hyperqueue(const config& cfg, const std::vector<std::uint8_t>& input);
+/// Element-at-a-time hyperqueue pipeline (baseline for the slice bench).
+result run_hyperqueue_element(const config& cfg,
+                              const std::vector<std::uint8_t>& input);
 result run_hyperqueue_split(const config& cfg,
                             const std::vector<std::uint8_t>& input);
 

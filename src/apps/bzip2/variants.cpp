@@ -154,13 +154,28 @@ result run_objects(const config& cfg, const std::vector<std::uint8_t>& input) {
 
 namespace {
 
-void hq_reader(const config* cfg, const std::vector<std::uint8_t>* input,
-               pushdep<block> q) {
+/// Record both queues' segment-pool counters into the result (called while
+/// the queues are still alive, before teardown frees the pool).
+void record_pool(result* r, const hyperqueue<block>& a,
+                 const hyperqueue<block>& b) {
+  const auto st = a.pool_stats() + b.pool_stats();
+  r->seg_allocated = st.allocated;
+  r->seg_recycled = st.recycled;
+  r->seg_high_water = st.high_water;
+  r->peak_segments = std::max<std::size_t>(
+      r->peak_segments, std::max(a.segments(), b.segments()));
+}
+
+// ---- element-at-a-time stages (the baseline the slice bench compares
+// against; Section 6.3's original one-value-per-push structure).
+
+void hq_reader_element(const config* cfg, const std::vector<std::uint8_t>* input,
+                       pushdep<block> q) {
   auto blocks = slice_blocks(*cfg, *input);
   for (auto& b : blocks) q.push(std::move(b));
 }
 
-void hq_compress_stage(popdep<block> in, pushdep<block> out) {
+void hq_compress_stage_element(popdep<block> in, pushdep<block> out) {
   // Section 6.3: "The second stage's task performs a spawn for every
   // element popped from the input queue... passing the output hyperqueue to
   // each of these spawned functions allows them to execute in parallel
@@ -177,10 +192,52 @@ void hq_compress_stage(popdep<block> in, pushdep<block> out) {
   sync();
 }
 
-void hq_writer(result* r, popdep<block> q) {
+void hq_writer_element(result* r, popdep<block> q) {
   while (!q.empty()) {
     block b = q.pop();
     write_block(r, b.data);
+  }
+}
+
+// ---- slice-based stages (Section 5.2): data moves through the queues in
+// contiguous batches, one spawn per batch instead of one per block.
+
+void hq_reader(const config* cfg, const std::vector<std::uint8_t>* input,
+               pushdep<block> q) {
+  auto blocks = slice_blocks(*cfg, *input);
+  push_slices(q, blocks.begin(), blocks.end(), cfg->slice_batch);
+}
+
+/// Compress one batch of blocks and stream them out through write slices.
+void hq_compress_batch(std::vector<block> work, std::size_t batch,
+                       pushdep<block> out) {
+  for (auto& b : work) {
+    b.data = util::mbzip_compress_block(b.data.data(), b.data.size());
+  }
+  push_slices(out, work.begin(), work.end(), batch);
+}
+
+void hq_compress_stage(std::size_t batch, popdep<block> in, pushdep<block> out) {
+  // One spawn per read slice: the spawned batches execute in parallel while
+  // the hyperqueue keeps their output in spawn (= serial-elision) order.
+  for (;;) {
+    auto rs = in.get_read_slice(batch);
+    if (rs.empty()) break;  // definitive end of stream
+    std::vector<block> work;
+    work.reserve(rs.size());
+    for (auto& b : rs) work.push_back(std::move(b));
+    rs.release();
+    spawn(hq_compress_batch, std::move(work), batch, out);
+  }
+  sync();
+}
+
+void hq_writer(std::size_t batch, result* r, popdep<block> q) {
+  for (;;) {
+    auto rs = q.get_read_slice(batch);
+    if (rs.empty()) break;
+    for (const block& b : rs) write_block(r, b.data);
+    rs.release();
   }
 }
 
@@ -193,13 +250,36 @@ result run_hyperqueue(const config& cfg, const std::vector<std::uint8_t>& input)
   write_header(&r, nblocks);
   scheduler sched(cfg.threads);
   sched.run([&] {
+    // Segment length tracks the slice batch (Section 5.1) so a batch
+    // normally fits one contiguous grant.
+    hyperqueue<block> q_in(2 * cfg.slice_batch);
+    hyperqueue<block> q_out(2 * cfg.slice_batch);
+    spawn(hq_reader, &cfg, &input, (pushdep<block>)q_in);
+    spawn(hq_compress_stage, cfg.slice_batch, (popdep<block>)q_in,
+          (pushdep<block>)q_out);
+    spawn(hq_writer, cfg.slice_batch, &r, (popdep<block>)q_out);
+    sync();
+    record_pool(&r, q_in, q_out);
+  });
+  r.seconds = sw.seconds();
+  return r;
+}
+
+result run_hyperqueue_element(const config& cfg,
+                              const std::vector<std::uint8_t>& input) {
+  util::stopwatch sw;
+  result r;
+  const std::size_t nblocks = (input.size() + cfg.block_bytes - 1) / cfg.block_bytes;
+  write_header(&r, nblocks);
+  scheduler sched(cfg.threads);
+  sched.run([&] {
     hyperqueue<block> q_in(16);
     hyperqueue<block> q_out(16);
-    spawn(hq_reader, &cfg, &input, (pushdep<block>)q_in);
-    spawn(hq_compress_stage, (popdep<block>)q_in, (pushdep<block>)q_out);
-    spawn(hq_writer, &r, (popdep<block>)q_out);
+    spawn(hq_reader_element, &cfg, &input, (pushdep<block>)q_in);
+    spawn(hq_compress_stage_element, (popdep<block>)q_in, (pushdep<block>)q_out);
+    spawn(hq_writer_element, &r, (popdep<block>)q_out);
     sync();
-    r.peak_segments = std::max(q_in.segments(), q_out.segments());
+    record_pool(&r, q_in, q_out);
   });
   r.seconds = sw.seconds();
   return r;
@@ -209,48 +289,57 @@ result run_hyperqueue_split(const config& cfg,
                             const std::vector<std::uint8_t>& input) {
   // Section 5.4 loop split & interchange: the driver pushes blocks in
   // batches and spawns the consuming stages per batch, bounding queue
-  // growth (and improving locality) when executed serially.
+  // growth under serial execution. Under the help-first scheduler the
+  // driver additionally paces itself with a selective sync (Section 5.5)
+  // every `split_window` batches, so the number of batches in flight — and
+  // with it the segment pool — stays bounded at any worker count.
   util::stopwatch sw;
   result r;
   const std::size_t nblocks = (input.size() + cfg.block_bytes - 1) / cfg.block_bytes;
   write_header(&r, nblocks);
   scheduler sched(cfg.threads);
   sched.run([&] {
-    hyperqueue<block> q_in(16);
-    hyperqueue<block> q_out(16);
+    hyperqueue<block> q_in(2 * cfg.slice_batch);
+    hyperqueue<block> q_out(2 * cfg.slice_batch);
     auto blocks = slice_blocks(cfg, input);
     std::size_t produced = 0;
+    std::size_t window = 0;
     while (produced < blocks.size()) {
       const std::size_t batch = std::min(cfg.split_batch, blocks.size() - produced);
       // The owner produces one batch (it holds push privileges), then spawns
       // the consuming stages for that batch — Figure 5's structure. Each
       // writer task observes exactly the compress tasks spawned before it.
-      for (std::size_t i = 0; i < batch; ++i) {
-        q_in.push(std::move(blocks[produced + i]));
-      }
+      push_slices(q_in, blocks.begin() + static_cast<std::ptrdiff_t>(produced),
+                  blocks.begin() + static_cast<std::ptrdiff_t>(produced + batch),
+                  cfg.slice_batch);
       produced += batch;
       hq::spawn(
-          [batch](popdep<block> in, pushdep<block> out) {
-            for (std::size_t i = 0; i < batch; ++i) {
-              block b = in.pop();
-              spawn(
-                  [](block work, pushdep<block> o) {
-                    work.data = util::mbzip_compress_block(work.data.data(),
-                                                           work.data.size());
-                    o.push(std::move(work));
-                  },
-                  std::move(b), out);
+          [batch, slice = cfg.slice_batch](popdep<block> in, pushdep<block> out) {
+            std::size_t done = 0;
+            while (done < batch) {
+              // Exactly `batch` values are owed to this task, so the slice
+              // is never empty here.
+              auto rs = in.get_read_slice(std::min(slice, batch - done));
+              std::vector<block> work;
+              work.reserve(rs.size());
+              for (auto& b : rs) work.push_back(std::move(b));
+              done += rs.size();
+              rs.release();
+              spawn(hq_compress_batch, std::move(work), slice, out);
             }
             sync();
           },
           (popdep<block>)q_in, (pushdep<block>)q_out);
-      hq::spawn(hq_writer, &r, (popdep<block>)q_out);
-      r.peak_segments = std::max(
-          r.peak_segments, std::max(q_in.segments(), q_out.segments()));
+      hq::spawn(hq_writer, cfg.slice_batch, &r, (popdep<block>)q_out);
+      if (++window >= cfg.split_window) {
+        q_out.sync_pop();  // paper: "sync (popdep<T>)queue;"
+        window = 0;
+        r.peak_segments = std::max(
+            r.peak_segments, std::max(q_in.segments(), q_out.segments()));
+      }
     }
     sync();
-    r.peak_segments =
-        std::max(r.peak_segments, std::max(q_in.segments(), q_out.segments()));
+    record_pool(&r, q_in, q_out);
   });
   r.seconds = sw.seconds();
   return r;

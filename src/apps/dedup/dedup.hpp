@@ -31,6 +31,7 @@ struct config {
   std::size_t fine_min = 512, fine_max = 16u << 10;
   unsigned threads = 1;
   std::uint64_t seed = 7;
+  std::size_t slice_batch = 16;  // records moved per queue slice (Section 5.2)
 };
 
 /// Shared state of one unique content chunk.
@@ -96,13 +97,21 @@ struct result {
   double seconds = 0;
   std::size_t total_chunks = 0;
   std::size_t unique_chunks = 0;
+  // Segment-pool counters of the shared write queue (hyperqueue variants).
+  std::size_t seg_allocated = 0;
+  std::size_t seg_recycled = 0;
+  std::size_t seg_high_water = 0;
 };
 
 result run_serial(const config& cfg, const std::vector<std::uint8_t>& input);
 result run_pthreads(const config& cfg, const std::vector<std::uint8_t>& input);
 result run_tbb(const config& cfg, const std::vector<std::uint8_t>& input);
 result run_objects(const config& cfg, const std::vector<std::uint8_t>& input);
+/// Slice-based hyperqueue pipeline (the default; Section 5.2 batching).
 result run_hyperqueue(const config& cfg, const std::vector<std::uint8_t>& input);
+/// Element-at-a-time hyperqueue pipeline (baseline for the slice bench).
+result run_hyperqueue_element(const config& cfg,
+                              const std::vector<std::uint8_t>& input);
 
 /// Serial per-stage seconds {Fragment, FragmentRefine, Deduplicate,
 /// Compress, Output} plus iteration counts, for Table 2.

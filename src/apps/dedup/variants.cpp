@@ -262,14 +262,17 @@ result run_objects(const config& cfg, const std::vector<std::uint8_t>& input) {
 
 namespace {
 
-void hq_refine(const config* cfg, const std::uint8_t* base, std::size_t off,
-               std::size_t len, std::uint64_t seq, pushdep<chunk_rec> out) {
+// ---- element-at-a-time stages (baseline for the slice bench).
+
+void hq_refine_element(const config* cfg, const std::uint8_t* base,
+                       std::size_t off, std::size_t len, std::uint64_t seq,
+                       pushdep<chunk_rec> out) {
   auto chunks = k_refine(*cfg, base, off, len, seq);
   for (auto& c : chunks) out.push(std::move(c));
 }
 
-void hq_dedup_compress(dedup_table* table, popdep<chunk_rec> in,
-                       pushdep<chunk_rec> out) {
+void hq_dedup_compress_element(dedup_table* table, popdep<chunk_rec> in,
+                               pushdep<chunk_rec> out) {
   // Merged Deduplicate+Compress task per nested pipeline (the paper's task
   // coarsening); streams records onto the shared write queue as they are
   // ready instead of gathering a list.
@@ -281,8 +284,56 @@ void hq_dedup_compress(dedup_table* table, popdep<chunk_rec> in,
   }
 }
 
-void hq_fragment(const config* cfg, const std::vector<std::uint8_t>* input,
-                 dedup_table* table, pushdep<chunk_rec> write_queue) {
+void hq_output_element(result* r, popdep<chunk_rec> q) {
+  while (!q.empty()) {
+    chunk_rec c = q.pop();
+    k_output(&r->output, &c);
+    ++r->total_chunks;
+  }
+}
+
+// ---- slice-based stages (Section 5.2, the default).
+
+void hq_refine(const config* cfg, const std::uint8_t* base, std::size_t off,
+               std::size_t len, std::uint64_t seq, pushdep<chunk_rec> out) {
+  auto chunks = k_refine(*cfg, base, off, len, seq);
+  push_slices(out, chunks.begin(), chunks.end(), cfg->slice_batch);
+}
+
+void hq_dedup_compress(const config* cfg, dedup_table* table,
+                       popdep<chunk_rec> in, pushdep<chunk_rec> out) {
+  // Process each read slice in place (the consumer owns the elements until
+  // release), then move the batch onto the shared write queue through write
+  // slices — record order is preserved end to end.
+  for (;;) {
+    auto rs = in.get_read_slice(cfg->slice_batch);
+    if (rs.empty()) break;
+    for (auto& c : rs) {
+      k_dedup(table, &c);
+      if (c.owner) k_compress(&c);
+    }
+    push_slices(out, rs.begin(), rs.end(), rs.size());
+    rs.release();
+  }
+}
+
+void hq_output(const config* cfg, result* r, popdep<chunk_rec> q) {
+  for (;;) {
+    auto rs = q.get_read_slice(cfg->slice_batch);
+    if (rs.empty()) break;
+    for (auto& c : rs) {
+      k_output(&r->output, &c);
+      ++r->total_chunks;
+    }
+    rs.release();
+  }
+}
+
+template <typename RefineFn, typename DedupFn>
+void hq_fragment_generic(const config* cfg,
+                         const std::vector<std::uint8_t>* input,
+                         dedup_table* table, pushdep<chunk_rec> write_queue,
+                         RefineFn refine, DedupFn dedup) {
   // Figure 10(c): one nested pipeline (local queue + two tasks) per coarse
   // chunk, all pushing to the shared write queue in program order. The
   // local queues are owned by this task; they are destroyed after the sync
@@ -293,20 +344,50 @@ void hq_fragment(const config* cfg, const std::vector<std::uint8_t>* input,
   for (std::size_t i = 0; i < coarse.size(); ++i) {
     locals.push_back(std::make_unique<hyperqueue<chunk_rec>>(64));
     hyperqueue<chunk_rec>& q = *locals.back();
-    spawn(hq_refine, cfg, input->data(), coarse[i].first, coarse[i].second,
-          static_cast<std::uint64_t>(i), (pushdep<chunk_rec>)q);
-    spawn(hq_dedup_compress, table, (popdep<chunk_rec>)q, write_queue);
+    refine(cfg, input, coarse[i].first, coarse[i].second,
+           static_cast<std::uint64_t>(i), q);
+    dedup(cfg, table, q, write_queue);
   }
   sync();
   locals.clear();
 }
 
-void hq_output(result* r, popdep<chunk_rec> q) {
-  while (!q.empty()) {
-    chunk_rec c = q.pop();
-    k_output(&r->output, &c);
-    ++r->total_chunks;
-  }
+void hq_fragment(const config* cfg, const std::vector<std::uint8_t>* input,
+                 dedup_table* table, pushdep<chunk_rec> write_queue) {
+  hq_fragment_generic(
+      cfg, input, table, write_queue,
+      [](const config* c, const std::vector<std::uint8_t>* in, std::size_t off,
+         std::size_t len, std::uint64_t seq, hyperqueue<chunk_rec>& q) {
+        spawn(hq_refine, c, in->data(), off, len, seq, (pushdep<chunk_rec>)q);
+      },
+      [](const config* c, dedup_table* t, hyperqueue<chunk_rec>& q,
+         pushdep<chunk_rec> wq) {
+        spawn(hq_dedup_compress, c, t, (popdep<chunk_rec>)q, wq);
+      });
+}
+
+void hq_fragment_element(const config* cfg,
+                         const std::vector<std::uint8_t>* input,
+                         dedup_table* table, pushdep<chunk_rec> write_queue) {
+  hq_fragment_generic(
+      cfg, input, table, write_queue,
+      [](const config* c, const std::vector<std::uint8_t>* in, std::size_t off,
+         std::size_t len, std::uint64_t seq, hyperqueue<chunk_rec>& q) {
+        spawn(hq_refine_element, c, in->data(), off, len, seq,
+              (pushdep<chunk_rec>)q);
+      },
+      [](const config* c, dedup_table* t, hyperqueue<chunk_rec>& q,
+         pushdep<chunk_rec> wq) {
+        (void)c;
+        spawn(hq_dedup_compress_element, t, (popdep<chunk_rec>)q, wq);
+      });
+}
+
+void record_pool(result* r, const hyperqueue<chunk_rec>& q) {
+  const auto st = q.pool_stats();
+  r->seg_allocated = st.allocated;
+  r->seg_recycled = st.recycled;
+  r->seg_high_water = st.high_water;
 }
 
 }  // namespace
@@ -319,8 +400,28 @@ result run_hyperqueue(const config& cfg, const std::vector<std::uint8_t>& input)
   sched.run([&] {
     hyperqueue<chunk_rec> write_queue(256);
     spawn(hq_fragment, &cfg, &input, &table, (pushdep<chunk_rec>)write_queue);
-    spawn(hq_output, &r, (popdep<chunk_rec>)write_queue);
+    spawn(hq_output, &cfg, &r, (popdep<chunk_rec>)write_queue);
     sync();
+    record_pool(&r, write_queue);
+  });
+  r.unique_chunks = table.unique_chunks();
+  r.seconds = sw.seconds();
+  return r;
+}
+
+result run_hyperqueue_element(const config& cfg,
+                              const std::vector<std::uint8_t>& input) {
+  util::stopwatch sw;
+  result r;
+  dedup_table table;
+  scheduler sched(cfg.threads);
+  sched.run([&] {
+    hyperqueue<chunk_rec> write_queue(256);
+    spawn(hq_fragment_element, &cfg, &input, &table,
+          (pushdep<chunk_rec>)write_queue);
+    spawn(hq_output_element, &r, (popdep<chunk_rec>)write_queue);
+    sync();
+    record_pool(&r, write_queue);
   });
   r.unique_chunks = table.unique_chunks();
   r.seconds = sw.seconds();

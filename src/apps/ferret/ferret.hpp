@@ -26,6 +26,7 @@ struct config {
   std::size_t topk = 16;          // neighbours reported per query
   unsigned threads = 1;           // worker threads / cores to use
   std::uint64_t seed = 42;
+  std::size_t slice_batch = 16;   // items moved per queue slice (Section 5.2)
 };
 
 /// One image travelling through the pipeline.
@@ -71,13 +72,21 @@ std::vector<std::string> traversal_order(const config& cfg);
 struct result {
   std::uint64_t checksum = 0;
   double seconds = 0;
+  // Segment-pool counters summed over the pipeline's queues (hyperqueue
+  // variants only).
+  std::size_t seg_allocated = 0;
+  std::size_t seg_recycled = 0;
+  std::size_t seg_high_water = 0;
 };
 
 result run_serial(const config& cfg);
 result run_pthreads(const config& cfg);
 result run_tbb(const config& cfg);
 result run_objects(const config& cfg);     // task dataflow, input not overlapped
+/// Slice-based hyperqueue pipeline (the default; Section 5.2 batching).
 result run_hyperqueue(const config& cfg);
+/// Element-at-a-time hyperqueue pipeline (baseline for the slice bench).
+result run_hyperqueue_element(const config& cfg);
 
 /// Serial per-stage seconds {input, segment, extract, vector, rank, output}
 /// for the Table 1 characterization.

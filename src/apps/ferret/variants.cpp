@@ -179,7 +179,9 @@ result run_objects(const config& cfg) {
 
 namespace {
 
-void hq_input(const config* cfg, pushdep<item> q) {
+// ---- element-at-a-time stages (baseline for the slice bench).
+
+void hq_input_element(const config* cfg, pushdep<item> q) {
   // Directory traversal pushing images as discovered, unrestructured —
   // the programmability point of Section 6.1.
   auto files = traversal_order(*cfg);
@@ -190,8 +192,8 @@ void hq_input(const config* cfg, pushdep<item> q) {
   }
 }
 
-void hq_dispatch(const config* cfg, const feature_db* db, popdep<item> in,
-                 pushdep<item> out) {
+void hq_dispatch_element(const config* cfg, const feature_db* db,
+                         popdep<item> in, pushdep<item> out) {
   // Pop each image and spawn its (parallel) middle stages; results appear
   // on `out` in pop order because hyperqueue pushes are ordered by spawn.
   while (!in.empty()) {
@@ -206,7 +208,7 @@ void hq_dispatch(const config* cfg, const feature_db* db, popdep<item> in,
   sync();
 }
 
-void hq_output(std::uint64_t* checksum, popdep<item> q) {
+void hq_output_element(std::uint64_t* checksum, popdep<item> q) {
   // One large task iterating the queue (avoids many tiny output tasks —
   // exactly the design described for ferret's output hyperqueue).
   while (!q.empty()) {
@@ -215,22 +217,101 @@ void hq_output(std::uint64_t* checksum, popdep<item> q) {
   }
 }
 
+// ---- slice-based stages (Section 5.2, the default): images move through
+// the queues in contiguous batches, one spawn per batch instead of one per
+// image.
+
+void hq_input(const config* cfg, pushdep<item> q) {
+  auto files = traversal_order(*cfg);
+  std::size_t i = 0;
+  while (i < files.size()) {
+    auto ws = q.get_write_slice(
+        std::min(cfg->slice_batch, files.size() - i));
+    const std::size_t n = ws.size();
+    for (std::size_t k = 0; k < n; ++k) {
+      item it = make_item(*cfg, i + k, files[i + k]);
+      k_load(*cfg, &it);
+      ws.emplace(k, std::move(it));
+    }
+    i += n;
+    ws.commit();
+  }
+}
+
+void hq_middle_batch(const config* cfg, const feature_db* db,
+                     std::vector<item> work, pushdep<item> out) {
+  for (auto& it : work) process_middle(*cfg, *db, &it);
+  push_slices(out, work.begin(), work.end(), work.size());
+}
+
+void hq_dispatch(const config* cfg, const feature_db* db, popdep<item> in,
+                 pushdep<item> out) {
+  // One spawn per read slice; batch results land on `out` in spawn order.
+  for (;;) {
+    auto rs = in.get_read_slice(cfg->slice_batch);
+    if (rs.empty()) break;
+    std::vector<item> work;
+    work.reserve(rs.size());
+    for (auto& it : rs) work.push_back(std::move(it));
+    rs.release();
+    spawn(hq_middle_batch, cfg, db, std::move(work), out);
+  }
+  sync();
+}
+
+void hq_output(const config* cfg, std::uint64_t* checksum, popdep<item> q) {
+  for (;;) {
+    auto rs = q.get_read_slice(cfg->slice_batch);
+    if (rs.empty()) break;
+    for (const item& it : rs) k_output(checksum, it);
+    rs.release();
+  }
+}
+
+void record_pool(result* r, const hyperqueue<item>& a, const hyperqueue<item>& b) {
+  const auto st = a.pool_stats() + b.pool_stats();
+  r->seg_allocated = st.allocated;
+  r->seg_recycled = st.recycled;
+  r->seg_high_water = st.high_water;
+}
+
 }  // namespace
 
 result run_hyperqueue(const config& cfg) {
   feature_db db = build_db(cfg);
   util::stopwatch sw;
-  std::uint64_t checksum = 0;
+  result r;
+  scheduler sched(cfg.threads);
+  sched.run([&] {
+    hyperqueue<item> q_in(2 * cfg.slice_batch);
+    hyperqueue<item> q_out(2 * cfg.slice_batch);
+    spawn(hq_input, &cfg, (pushdep<item>)q_in);
+    spawn(hq_dispatch, &cfg, &db, (popdep<item>)q_in, (pushdep<item>)q_out);
+    spawn(hq_output, &cfg, &r.checksum, (popdep<item>)q_out);
+    sync();
+    record_pool(&r, q_in, q_out);
+  });
+  r.seconds = sw.seconds();
+  return r;
+}
+
+result run_hyperqueue_element(const config& cfg) {
+  feature_db db = build_db(cfg);
+  util::stopwatch sw;
+  result r;
   scheduler sched(cfg.threads);
   sched.run([&] {
     hyperqueue<item> q_in(64);
     hyperqueue<item> q_out(64);
-    spawn(hq_input, &cfg, (pushdep<item>)q_in);
-    spawn(hq_dispatch, &cfg, &db, (popdep<item>)q_in, (pushdep<item>)q_out);
-    spawn(hq_output, &checksum, (popdep<item>)q_out);
+    spawn(hq_input_element, &cfg, (pushdep<item>)q_in);
+    spawn(hq_dispatch_element, &cfg, &db, (popdep<item>)q_in,
+          (pushdep<item>)q_out);
+    spawn(hq_output_element, &r.checksum, (popdep<item>)q_out);
     sync();
+    record_pool(&r, q_in, q_out);
   });
-  return {checksum, sw.seconds()};
+  r.seconds = sw.seconds();
+  return r;
 }
 
 }  // namespace hq::apps::ferret

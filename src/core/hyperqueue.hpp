@@ -39,6 +39,10 @@ class popdep;
 template <typename T>
 class pushpopdep;
 
+/// Segment-pool counters (see detail::seg_pool_stats), re-exported for
+/// tests and benches.
+using seg_pool_stats = detail::seg_pool_stats;
+
 namespace detail {
 
 template <typename T>
@@ -92,10 +96,16 @@ class write_slice {
     ++filled_;
   }
 
-  /// Publish the first `n` elements (defaults to all filled).
+  [[nodiscard]] std::size_t filled() const noexcept { return filled_; }
+
+  /// Publish the first `n` elements (defaults to all filled). A prefix
+  /// commit (n < filled()) destroys the constructed-but-uncommitted tail
+  /// elements; the consumer only ever observes the first n. Either way the
+  /// slice is spent afterwards: obtain a new one to keep producing.
   void commit() { commit(filled_); }
   void commit(std::size_t n) {
-    assert(n == filled_ && n <= size_);
+    assert(n <= filled_);
+    for (std::size_t i = n; i < filled_; ++i) data_[i].~T();
     cb_->commit_write(n);
     size_ = 0;
     filled_ = 0;
@@ -122,13 +132,30 @@ class read_slice {
     assert(i < size_);
     return data_[i];
   }
+  /// Mutable access: the consumer owns the elements until release(); a stage
+  /// may transform them in place or move them out (release() destroys the
+  /// moved-from shells).
+  T& operator[](std::size_t i) {
+    assert(i < size_);
+    return data_[i];
+  }
   const T* begin() const noexcept { return data_; }
   const T* end() const noexcept { return data_ + size_; }
+  T* begin() noexcept { return data_; }
+  T* end() noexcept { return data_ + size_; }
 
-  /// Retire the consumed elements from the queue.
-  void release() {
-    if (size_ != 0) cb_->commit_read(size_);
-    size_ = 0;
+  /// Retire all remaining elements from the queue.
+  void release() { release(size_); }
+
+  /// Retire only the first `n` elements; the slice shrinks to the remaining
+  /// suffix, which stays valid (and un-consumed) so a stage can stop
+  /// mid-slice at a work boundary and pick up where it left off.
+  void release(std::size_t n) {
+    assert(n <= size_);
+    if (n == 0) return;
+    cb_->commit_read(n);
+    data_ += n;
+    size_ -= n;
   }
 
  private:
@@ -136,6 +163,23 @@ class read_slice {
   T* data_;
   std::size_t size_;
 };
+
+/// Bulk producer idiom (Section 5.2): move [first, last) into `q` through
+/// write slices, requesting at most `batch` slots per slice and looping on
+/// the (possibly short) grants. Works with any push-capable handle
+/// (pushdep, pushpopdep, hyperqueue).
+template <typename Q, typename It>
+void push_slices(Q& q, It first, It last, std::size_t batch) {
+  while (first != last) {
+    const auto remain = static_cast<std::size_t>(last - first);
+    auto ws = q.get_write_slice(batch < remain ? batch : remain);
+    const std::size_t n = ws.size();
+    for (std::size_t i = 0; i < n; ++i, ++first) {
+      ws.emplace(i, std::move(*first));
+    }
+    ws.commit();
+  }
+}
 
 namespace detail {
 
@@ -284,6 +328,16 @@ class hyperqueue {
   void push(T value) { detail::typed_ops<T>::push(cb_, std::move(value)); }
   bool empty() { return cb_->empty(); }
   T pop() { return detail::typed_ops<T>::pop(cb_); }
+  write_slice<T> get_write_slice(std::size_t want) {
+    std::uint64_t n = 0;
+    void* p = cb_->write_slice(want, &n);
+    return write_slice<T>(cb_, static_cast<T*>(p), static_cast<std::size_t>(n));
+  }
+  read_slice<T> get_read_slice(std::size_t want) {
+    std::uint64_t n = 0;
+    void* p = cb_->read_slice(want, &n);
+    return read_slice<T>(cb_, static_cast<T*>(p), static_cast<std::size_t>(n));
+  }
 
   // Access-mode casts used at spawn sites, as in the paper.
   operator pushdep<T>() const { return pushdep<T>(cb_); }          // NOLINT
@@ -292,6 +346,11 @@ class hyperqueue {
 
   /// Number of segments currently allocated (tests/benches).
   [[nodiscard]] std::size_t segments() const { return cb_->segments_allocated(); }
+
+  /// Segment-pool counters (Section 5.1/5.2): fresh allocations, pool
+  /// reuses, and the in-use high-water mark. In steady state `allocated`
+  /// stops growing and equals `high_water`.
+  [[nodiscard]] seg_pool_stats pool_stats() const { return cb_->pool_stats(); }
 
   // Selective sync (Section 5.5): suspend the calling task until its
   // children with the given access mode on this queue have completed.

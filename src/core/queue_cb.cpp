@@ -48,21 +48,30 @@ void queue_cb::release() noexcept {
 }
 
 segment* queue_cb::alloc_segment() {
+  const std::uint64_t in_use = seg_in_use.fetch_add(1, std::memory_order_relaxed) + 1;
+  std::uint64_t hw = seg_high_water.load(std::memory_order_relaxed);
+  while (in_use > hw &&
+         !seg_high_water.compare_exchange_weak(hw, in_use,
+                                               std::memory_order_relaxed)) {
+  }
   {
     std::lock_guard<spinlock> lk(free_mu);
     if (free_list != nullptr) {
       segment* s = free_list;
       free_list = s->next.load(std::memory_order_relaxed);
       s->next.store(nullptr, std::memory_order_relaxed);
+      seg_recycled.fetch_add(1, std::memory_order_relaxed);
       return s;
     }
   }
   seg_live.fetch_add(1, std::memory_order_relaxed);
+  seg_fresh.fetch_add(1, std::memory_order_relaxed);
   return segment::create(seg_capacity, &ops);
 }
 
 void queue_cb::recycle_segment(segment* s) {
   s->reset();
+  seg_in_use.fetch_sub(1, std::memory_order_relaxed);
   std::lock_guard<spinlock> lk(free_mu);
   s->next.store(free_list, std::memory_order_relaxed);
   free_list = s;
@@ -160,16 +169,22 @@ qattach* queue_cb::attach_spawn(task_frame* child, std::uint8_t priv) {
   ca->user = pa->user.take();
 
   if ((priv & kPrivPop) != 0) {
-    // The queue view follows the consumer. It may be ε here when an older
-    // pop sibling still holds it; the child claims it lazily (see
-    // ensure_queue_view) once that sibling completed.
-    ca->queue = pa->queue.take();
+    // The queue view follows the consumer in pop FIFO order. Take it from
+    // the parent only when no older pop sibling is live: if one is, the
+    // view either sits with that sibling or is parked here in transit to
+    // it (a completed sibling hands it back to the parent, and the FIFO
+    // successor claims it lazily — see ensure_queue_view). Grabbing it for
+    // this younger child would strand the older sibling waiting for a view
+    // held by a task that cannot run before it: deadlock.
+    if (pa->live_pop_children.load(std::memory_order_relaxed) == 0) {
+      ca->queue = pa->queue.take();
+    }
     // Scheduling rule 3: pop-privileged tasks of one parent run FIFO.
     if (pa->last_pop_child != nullptr) {
       task_frame::depend(child, pa->last_pop_child->frame);
     }
     pa->last_pop_child = ca;
-    pa->live_pop_children += 1;
+    pa->live_pop_children.fetch_add(1, std::memory_order_relaxed);
   }
 
   if ((priv & kPrivPush) != 0) {
@@ -228,7 +243,11 @@ void queue_cb::on_task_complete(qattach* a) {
   if (pa->last_child == a) pa->last_child = a->left;
   if (pa->last_pop_child == a) pa->last_pop_child = nullptr;
   pa->live_children -= 1;
-  if ((a->priv & kPrivPop) != 0) pa->live_pop_children -= 1;
+  // Release: pairs with the acquire load on the parent's consumer fast path
+  // (ensure_queue_view); the queue-view hand-back above must be visible to a
+  // parent that observes the decremented count without taking mu.
+  if ((a->priv & kPrivPop) != 0)
+    pa->live_pop_children.fetch_sub(1, std::memory_order_release);
 
   assert(a->user.empty() && a->right_view.empty() && a->children.empty() &&
          a->queue.empty());
@@ -324,12 +343,17 @@ void* queue_cb::write_slice(std::uint64_t want, std::uint64_t* count) {
     const std::uint64_t h = s->head.load(std::memory_order_acquire);
     const std::uint64_t free_total = s->capacity() - (t - h);
     const std::uint64_t contig = std::min(s->capacity() - (t & s->mask), free_total);
-    if (contig >= want) {
-      *count = want;
+    if (contig > 0) {
+      // Grant the contiguous run even when shorter than `want`. Slices are
+      // allowed to come back short (Section 5.2), and abandoning the segment
+      // here would permanently strand its wrapped free space: a producer /
+      // consumer pair that stays in step must ring-recycle one segment, not
+      // leak a fresh one per wrap.
+      *count = std::min(want, contig);
       return s->slot(t);
     }
-    // Not enough contiguous room: open a fresh segment (Section 5.2 allows
-    // allocating to honour the requested length).
+    // Segment truly full (the run up to the wrap point is only ever zero
+    // when no slot is free at all): chain a fresh segment.
     segment* ns = alloc_segment();
     s->next.store(ns, std::memory_order_release);
     a->user.tail = ns;
@@ -360,14 +384,21 @@ void queue_cb::commit_write(std::uint64_t produced) {
 
 void queue_cb::ensure_queue_view(qattach* a) {
   assert((a->priv & kPrivPop) != 0);
-  if (a->queue.present && a->live_pop_children == 0) return;
+  // Lock-free fast path: no live pop children (acquire — see qattach) and
+  // the queue view already in hand. This is the Section 5.2 "as fast as
+  // array accesses" precondition: a consumer streaming through ready data
+  // never touches mu.
+  if (a->live_pop_children.load(std::memory_order_acquire) == 0 &&
+      a->queue.present) {
+    return;
+  }
   backoff bo;
   for (;;) {
     {
       std::lock_guard<std::mutex> lk(mu);
       // Program order: our own pops resume only after our pop children are
       // done (they are earlier in the serial elision).
-      if (a->live_pop_children == 0) {
+      if (a->live_pop_children.load(std::memory_order_relaxed) == 0) {
         if (a->queue.present) return;
         // Claim the queue view from an ancestor: after the previous consumer
         // completed, the view travels back up the spawn tree.
@@ -467,7 +498,7 @@ void queue_cb::sync_children(std::uint8_t priv_filter) {
       if (priv_filter == 0) {
         pending = a->live_children;
       } else if ((priv_filter & kPrivPop) != 0) {
-        pending = a->live_pop_children;
+        pending = a->live_pop_children.load(std::memory_order_relaxed);
       } else {
         // Push filter: count live push-privileged children.
         for (qattach* c = a->last_child; c != nullptr; c = c->left) {

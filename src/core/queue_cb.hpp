@@ -37,6 +37,24 @@ inline constexpr std::uint8_t kPrivPop = 2;
 
 struct queue_cb;
 
+/// Segment-pool counters (tests / benches): with a well-behaved pipeline the
+/// pool reaches steady state — `allocated` plateaus at `high_water` and every
+/// further segment demand is served by `recycled`.
+struct seg_pool_stats {
+  std::uint64_t allocated = 0;   ///< fresh heap allocations, ever
+  std::uint64_t recycled = 0;    ///< allocation requests served by the pool
+  std::uint64_t high_water = 0;  ///< peak segments simultaneously in use
+  std::uint64_t live = 0;        ///< currently allocated (in use + pooled)
+
+  /// Aggregate over a pipeline's queues (field-wise sum; high_water becomes
+  /// the sum of per-queue peaks, an upper bound on the combined peak).
+  friend seg_pool_stats operator+(const seg_pool_stats& a,
+                                  const seg_pool_stats& b) {
+    return {a.allocated + b.allocated, a.recycled + b.recycled,
+            a.high_water + b.high_water, a.live + b.live};
+  }
+};
+
 /// Per-(task, queue) bookkeeping. Owned by the queue control block; lives
 /// from the task's spawn until its completion (the owner attachment lives
 /// until queue destruction). All fields are guarded by queue_cb::mu except
@@ -63,7 +81,13 @@ struct qattach {
 
   /// Live child attachments (for selective sync, Section 5.5).
   long live_children = 0;
-  long live_pop_children = 0;
+
+  /// Live pop-privileged children. Written under queue_cb::mu; additionally
+  /// read lock-free by the owning task on the consumer fast path (see
+  /// ensure_queue_view): the release store in on_task_complete pairs with an
+  /// acquire load, so observing zero implies the completed child's queue
+  /// view hand-back is visible.
+  std::atomic<long> live_pop_children{0};
 
   // Views. `user` and `queue` are accessed lock-free by the owning task
   // between its start and completion; transfers at spawn/steal/completion
@@ -140,6 +164,14 @@ struct queue_cb {
   [[nodiscard]] std::uint64_t segments_allocated() const {
     return seg_live.load(std::memory_order_relaxed);
   }
+  [[nodiscard]] seg_pool_stats pool_stats() const {
+    seg_pool_stats st;
+    st.allocated = seg_fresh.load(std::memory_order_relaxed);
+    st.recycled = seg_recycled.load(std::memory_order_relaxed);
+    st.high_water = seg_high_water.load(std::memory_order_relaxed);
+    st.live = seg_live.load(std::memory_order_relaxed);
+    return st;
+  }
   [[nodiscard]] qattach* owner_attachment() { return owner; }
   /// Attachment of the calling task (current frame), requiring `need` privs.
   qattach* my_attachment(std::uint8_t need);
@@ -182,6 +214,12 @@ struct queue_cb {
   spinlock free_mu;
   segment* free_list = nullptr;  // chained through segment::next
   std::atomic<std::uint64_t> seg_live{0};
+
+  // Pool statistics (relaxed: monitoring only, never load-bearing).
+  std::atomic<std::uint64_t> seg_fresh{0};
+  std::atomic<std::uint64_t> seg_recycled{0};
+  std::atomic<std::uint64_t> seg_in_use{0};
+  std::atomic<std::uint64_t> seg_high_water{0};
 };
 
 }  // namespace hq::detail

@@ -177,15 +177,29 @@ TEST_P(AppParam, BzipAllVariantsMatchSerial) {
 
 TEST(BzipApp, LoopSplitBoundsQueueGrowth) {
   // Section 5.4: under serial execution (1 worker) the unsplit version
-  // buffers every block; the split version bounds growth by the batch size.
+  // buffers every block, so its peak segment demand grows with the input;
+  // the split version bounds the batches in flight (split_batch x
+  // split_window) and its demand stays constant. Use many small blocks so
+  // the difference is visible in whole segments.
   auto cfg = small_bzip(1);
-  cfg.split_batch = 2;
+  cfg.block_bytes = 4u << 10;  // 128 blocks
+  cfg.split_batch = 4;
+  cfg.split_window = 2;
   auto input = hq::util::gen_text(cfg.input_bytes, cfg.seed);
   auto unsplit = hq::apps::bzip2::run_hyperqueue(cfg, input);
   auto split = hq::apps::bzip2::run_hyperqueue_split(cfg, input);
   EXPECT_EQ(unsplit.output, split.output);
-  EXPECT_LE(split.peak_segments, unsplit.peak_segments)
-      << "loop split must not increase queue footprint";
+  EXPECT_LE(split.seg_high_water, unsplit.seg_high_water)
+      << "loop split must not increase peak queue footprint";
+  // The paper's point: the split footprint is a function of the knobs, not
+  // of the input length — doubling the input must not move the high-water
+  // mark, while the unsplit version keeps buffering more.
+  auto cfg2 = cfg;
+  cfg2.input_bytes *= 2;
+  auto input2 = hq::util::gen_text(cfg2.input_bytes, cfg2.seed);
+  auto split2 = hq::apps::bzip2::run_hyperqueue_split(cfg2, input2);
+  EXPECT_LE(split2.seg_high_water, split.seg_high_water)
+      << "split footprint must be independent of the input length";
 }
 
 INSTANTIATE_TEST_SUITE_P(Workers, AppParam, ::testing::Values(1u, 2u, 4u),
