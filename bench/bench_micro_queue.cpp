@@ -2,8 +2,13 @@
 //  * push/pop throughput vs segment length (Section 5.1 tuning),
 //  * slice API vs element-wise push/pop (Section 5.2),
 //  * producer -> consumer task handoff.
+//
+// Provides its own main(): emits a BENCH_queue.json trajectory record with
+// a segment/attachment steady-state probe as the correctness gate (see
+// bench_json.hpp; --json PATH overrides, --quick shrinks to smoke size).
 #include <benchmark/benchmark.h>
 
+#include "bench_json.hpp"
 #include "hq.hpp"
 
 namespace {
@@ -121,4 +126,99 @@ void BM_ParallelProducers(benchmark::State& state) {
 }
 BENCHMARK(BM_ParallelProducers)->Arg(1)->Arg(8)->Arg(64);
 
+/// Steady-state probe: a producer/consumer ring that stays in step must
+/// recycle one segment and a bounded set of qattaches — no fresh segment or
+/// attachment allocations once warm. This is the JSON correctness gate.
+struct probe_result {
+  hq::detail::seg_pool_stats segs;
+  hq::detail::obj_pool::stats_t attaches;
+  bool zero_alloc_steady_state = false;
+  bool sum_ok = false;
+};
+
+probe_result run_probe(bool quick) {
+  probe_result pr;
+  const int rounds = quick ? 10 : 50;
+  const int per_round = 4096;
+  hq::scheduler sched(2);
+  long total = 0;
+  hq::detail::seg_pool_stats seg_warm{}, seg_after{};
+  hq::detail::obj_pool::stats_t at_warm{}, at_after{};
+  sched.run([&] {
+    hq::hyperqueue<int> q(256);
+    auto round = [&q, &total] {
+      hq::spawn(
+          [](hq::pushdep<int> qq) {
+            for (int i = 0; i < per_round; ++i) qq.push(i);
+          },
+          (hq::pushdep<int>)q);
+      hq::spawn(
+          [&total](hq::popdep<int> qq) {
+            long s = 0;
+            while (!qq.empty()) s += qq.pop();
+            total += s;  // pop tasks run FIFO: no race on total
+          },
+          (hq::popdep<int>)q);
+      hq::sync();
+    };
+    for (int r = 0; r < rounds; ++r) round();
+    seg_warm = q.pool_stats();
+    at_warm = sched.attach_pool_stats();
+    for (int r = 0; r < rounds; ++r) round();
+    seg_after = q.pool_stats();
+    at_after = sched.attach_pool_stats();
+  });
+  pr.segs = seg_after;
+  pr.attaches = at_after;
+  // Gate with worst-case-derived tolerances so CI-runner preemption cannot
+  // fail the job spuriously: a fully unconsumed push burst needs at most
+  // ceil(per_round / 256) + 1 segments beyond the warm-up peak, and each
+  // measured round can catch at most its two attachments in cross-worker
+  // flight. A real leak grows with every round and sails past both bounds.
+  const std::uint64_t seg_slack = per_round / 256 + 2;
+  const std::uint64_t at_slack = 2u * static_cast<std::uint64_t>(rounds);
+  pr.zero_alloc_steady_state =
+      seg_after.allocated <= seg_warm.allocated + seg_slack &&
+      seg_after.recycled > seg_warm.recycled &&
+      at_after.allocated <= at_warm.allocated + at_slack &&
+      at_after.recycled > at_warm.recycled;
+  pr.sum_ok =
+      total == 2L * rounds * (static_cast<long>(per_round) * (per_round - 1) / 2);
+  return pr;
+}
+
 }  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<char*> args;
+  const auto opt =
+      hq::bench::parse_micro_args(argc, argv, "BENCH_queue.json", args);
+  benchmark::Initialize(&argc, args.data());
+  hq::bench::collecting_reporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+
+  const probe_result pr = run_probe(opt.quick);
+  if (!pr.zero_alloc_steady_state) {
+    std::fprintf(stderr,
+                 "FAIL: segment/attachment pools kept allocating in steady "
+                 "state\n");
+  }
+  if (!pr.sum_ok) std::fprintf(stderr, "FAIL: probe checksum mismatch\n");
+
+  const bool all_ok =
+      pr.zero_alloc_steady_state && pr.sum_ok && !reporter.rows.empty();
+  const bool wrote = hq::bench::write_micro_json(
+      opt, "micro_queue", reporter.rows, all_ok, [&](FILE* f) {
+        std::fprintf(f, "  \"probe\": {\n");
+        std::fprintf(f,
+                     "    \"segment_pool\": {\"allocated\": %llu, \"recycled\": "
+                     "%llu, \"high_water\": %llu},\n",
+                     static_cast<unsigned long long>(pr.segs.allocated),
+                     static_cast<unsigned long long>(pr.segs.recycled),
+                     static_cast<unsigned long long>(pr.segs.high_water));
+        hq::bench::emit_pool_json(f, "attach_pool", pr.attaches);
+        std::fprintf(f, "    \"zero_alloc_steady_state\": %s\n  },\n",
+                     pr.zero_alloc_steady_state ? "true" : "false");
+      });
+  return all_ok && wrote ? 0 : 1;
+}

@@ -1,7 +1,6 @@
 #include "core/queue_cb.hpp"
 
 #include <bit>
-#include <functional>
 
 #include "conc/backoff.hpp"
 #include "sched/scheduler.hpp"
@@ -20,6 +19,33 @@ void wait_step(backoff& bo) {
   } else {
     bo.pause();
   }
+}
+
+/// Attachments recycle through the calling scheduler's per-worker attach
+/// pool; both calls always run on a worker of the scheduler that owns the
+/// enclosing task (spawn-argument resolution and completion hooks execute
+/// there), so alloc and free hit the same pool.
+qattach* alloc_qattach() {
+  if (scheduler* s = scheduler::current()) {
+    unsigned owner = kPoolExternal;
+    void* mem = s->alloc_attach_block(&owner);
+    auto* a = ::new (mem) qattach();
+    a->pool_sched = s;
+    a->pool_owner = owner;
+    return a;
+  }
+  return new qattach();
+}
+
+void free_qattach(qattach* a) {
+  scheduler* s = a->pool_sched;
+  if (s == nullptr) {
+    delete a;
+    return;
+  }
+  const unsigned owner = a->pool_owner;
+  a->~qattach();
+  s->free_attach_block(a, owner);
 }
 
 }  // namespace
@@ -93,16 +119,17 @@ qattach* queue_cb::my_attachment([[maybe_unused]] std::uint8_t need) {
 void queue_cb::attach_owner(task_frame* owner_frame) {
   assert(owner_frame != nullptr &&
          "construct hyperqueues inside a task (e.g. the scheduler::run root)");
-  std::lock_guard<std::mutex> lk(mu);
-  assert(owner == nullptr);
-  auto* a = new qattach();
+  // Allocate outside mu; only the view/attachment structure needs the lock.
+  qattach* a = alloc_qattach();
   a->q = this;
   a->frame = owner_frame;
   a->priv = kPrivPush | kPrivPop;
+  segment* s0 = alloc_segment();
+  std::lock_guard<std::mutex> lk(mu);
+  assert(owner == nullptr);
   // Invariant 1: a hyperqueue always holds at least one segment. The initial
   // split hands the head to the owner's queue view and the tail to its user
   // view (Section 4.1).
-  segment* s0 = alloc_segment();
   auto [head_v, tail_v] = split(view::local(s0), next_nl_id++);
   a->queue = head_v;
   a->user = tail_v;
@@ -143,59 +170,67 @@ void queue_cb::detach_owner() {
     std::lock_guard<std::mutex> lk(mu);
     owner = nullptr;
   }
-  delete a;
+  free_qattach(a);
 }
 
 qattach* queue_cb::attach_spawn(task_frame* child, std::uint8_t priv) {
   assert(priv != 0);
-  std::lock_guard<std::mutex> lk(mu);
+  // Allocation, privilege lookup, refcounting and hook registration all
+  // happen outside mu: the spawning task's own attachment list is stable
+  // (only its thread appends), and the child is not yet visible to anyone.
+  // Only the shared view/sibling structure below needs the lock.
   qattach* pa = my_attachment(priv);  // asserts the subset-privilege rule
-
-  auto* ca = new qattach();
+  qattach* ca = alloc_qattach();
   ca->q = this;
   ca->frame = child;
   ca->parent = pa;
   ca->priv = priv;
 
-  // Live sibling chain: program order left-to-right, youngest at last_child.
-  ca->left = pa->last_child;
-  if (ca->left != nullptr) ca->left->right_sib = ca;
-  pa->last_child = ca;
-  pa->live_children += 1;
+  {
+    std::lock_guard<std::mutex> lk(mu);
 
-  // View transfer at spawn (Section 4.2): push, pop and pushpop spawns all
-  // take the parent's user view (for pop it hides the pending values from
-  // subsequent push tasks).
-  ca->user = pa->user.take();
+    // Live sibling chain: program order left-to-right, youngest at
+    // last_child.
+    ca->left = pa->last_child;
+    if (ca->left != nullptr) ca->left->right_sib = ca;
+    pa->last_child = ca;
+    pa->live_children += 1;
 
-  if ((priv & kPrivPop) != 0) {
-    // The queue view follows the consumer in pop FIFO order. Take it from
-    // the parent only when no older pop sibling is live: if one is, the
-    // view either sits with that sibling or is parked here in transit to
-    // it (a completed sibling hands it back to the parent, and the FIFO
-    // successor claims it lazily — see ensure_queue_view). Grabbing it for
-    // this younger child would strand the older sibling waiting for a view
-    // held by a task that cannot run before it: deadlock.
-    if (pa->live_pop_children.load(std::memory_order_relaxed) == 0) {
-      ca->queue = pa->queue.take();
+    // View transfer at spawn (Section 4.2): push, pop and pushpop spawns all
+    // take the parent's user view (for pop it hides the pending values from
+    // subsequent push tasks).
+    ca->user = pa->user.take();
+
+    if ((priv & kPrivPop) != 0) {
+      // The queue view follows the consumer in pop FIFO order. Take it from
+      // the parent only when no older pop sibling is live: if one is, the
+      // view either sits with that sibling or is parked here in transit to
+      // it (a completed sibling hands it back to the parent, and the FIFO
+      // successor claims it lazily — see ensure_queue_view). Grabbing it for
+      // this younger child would strand the older sibling waiting for a view
+      // held by a task that cannot run before it: deadlock.
+      if (pa->live_pop_children.load(std::memory_order_relaxed) == 0) {
+        ca->queue = pa->queue.take();
+      }
+      // Scheduling rule 3: pop-privileged tasks of one parent run FIFO.
+      if (pa->last_pop_child != nullptr) {
+        task_frame::depend(child, pa->last_pop_child->frame);
+      }
+      pa->last_pop_child = ca;
+      pa->live_pop_children.fetch_add(1, std::memory_order_relaxed);
     }
-    // Scheduling rule 3: pop-privileged tasks of one parent run FIFO.
-    if (pa->last_pop_child != nullptr) {
-      task_frame::depend(child, pa->last_pop_child->frame);
-    }
-    pa->last_pop_child = ca;
-    pa->live_pop_children.fetch_add(1, std::memory_order_relaxed);
-  }
 
-  if ((priv & kPrivPush) != 0) {
-    // Live-producer accounting for the definitive-empty test; the increment
-    // walks to the owner like the paper's O(depth) early reduction.
-    for (qattach* p = ca; p != nullptr; p = p->parent) p->subtree_pushers += 1;
+    if ((priv & kPrivPush) != 0) {
+      // Live-producer accounting for the definitive-empty test; the
+      // increment walks to the owner like the paper's O(depth) early
+      // reduction.
+      for (qattach* p = ca; p != nullptr; p = p->parent) p->subtree_pushers += 1;
+    }
   }
 
   child->attachments.push_back(ca);
   add_ref();
-  child->completion_hooks.push_back(std::function<void()>([this, ca] {
+  child->completion_hooks.push_back(hook_fn([this, ca] {
     on_task_complete(ca);
     release();
   }));
@@ -203,7 +238,7 @@ qattach* queue_cb::attach_spawn(task_frame* child, std::uint8_t priv) {
 }
 
 void queue_cb::on_task_complete(qattach* a) {
-  std::lock_guard<std::mutex> lk(mu);
+  std::unique_lock<std::mutex> lk(mu);
 
   // "Return from spawn" (Section 4.2): the user view can no longer grow.
   // Fold this task's views in program order — children ∘ user ∘ right (the
@@ -252,7 +287,10 @@ void queue_cb::on_task_complete(qattach* a) {
   assert(a->user.empty() && a->right_view.empty() && a->children.empty() &&
          a->queue.empty());
   a->frame = nullptr;
-  delete a;
+  lk.unlock();
+  // Recycle outside the lock: the attachment is unlinked, nobody can reach
+  // it anymore.
+  free_qattach(a);
 }
 
 void queue_cb::merge_left_early(qattach* a, view tmp) {

@@ -65,6 +65,12 @@ struct qattach {
   qattach* parent = nullptr;    // attachment of the spawning task
   std::uint8_t priv = 0;
 
+  /// Recycling bookkeeping: attachments come from the scheduler's per-worker
+  /// attach pool (sched/obj_pool.hpp). Null pool_sched means plain heap
+  /// (allocation happened outside any worker — not expected, but safe).
+  scheduler* pool_sched = nullptr;
+  unsigned pool_owner = ~0u;
+
   // Live-sibling chain under `parent`, youngest at parent->last_child.
   qattach* left = nullptr;
   qattach* right_sib = nullptr;

@@ -3,12 +3,13 @@
 namespace hq::detail {
 
 // Register a completion hook that removes `fr` from this tracker before the
-// frame is deleted, so the reader/writer lists never dangle. The hook holds
+// frame is recycled, so the reader/writer lists never dangle. The hook holds
 // a shared_ptr to the tracker: trackers outlive all registered frames even
-// if the versioned<T> variable goes out of scope first.
+// if the versioned<T> variable goes out of scope first. The capture (one
+// shared_ptr + one pointer) fits hook_fn's inline buffer: no allocation.
 void obj_tracker::watch(task_frame* fr) {
-  fr->completion_hooks.push_back(std::function<void()>(
-      [self = shared_from_this(), fr] { self->remove_task(fr); }));
+  fr->completion_hooks.push_back(
+      hook_fn([self = shared_from_this(), fr] { self->remove_task(fr); }));
 }
 
 void obj_tracker::remove_task(task_frame* fr) {

@@ -2,9 +2,10 @@
 
 #include <cassert>
 #include <chrono>
+#include <cstdlib>
 #include <random>
 
-#include "core/queue_cb.hpp"  // qattach, for the nested-execution safety check
+#include "core/queue_cb.hpp"  // qattach, for nesting safety + the attach pool
 
 namespace hq {
 
@@ -25,10 +26,29 @@ scheduler* scheduler::current() noexcept {
   return detail::t_worker ? detail::t_worker->sched : nullptr;
 }
 
+namespace {
+
+/// Cross-worker return-stack bound for the frame/attachment pools (see
+/// sched/obj_pool.hpp: beyond this many parked returns a freed block
+/// migrates to the freeing worker's own magazine instead). Pool memory
+/// itself is bounded by the peak in-flight record count, not by this knob.
+std::size_t pool_cap_from_env() {
+  if (const char* env = std::getenv("HQ_FRAME_POOL_CAP")) {
+    const long v = std::atol(env);
+    if (v > 0) return static_cast<std::size_t>(v);
+  }
+  return 4096;
+}
+
+}  // namespace
+
 scheduler::scheduler(unsigned num_workers) {
   if (num_workers == 0) {
     num_workers = std::max(1u, std::thread::hardware_concurrency());
   }
+  const std::size_t cap = pool_cap_from_env();
+  frame_pool_.init(num_workers, sizeof(task_frame), cap);
+  attach_pool_.init(num_workers, sizeof(detail::qattach), cap);
   workers_.reserve(num_workers);
   std::mt19937_64 seed_rng(0x9e3779b97f4a7c15ull);
   for (unsigned i = 0; i < num_workers; ++i) {
@@ -59,9 +79,9 @@ void scheduler::run_root(task_fn fn) {
     std::lock_guard<std::mutex> lk(done_mu_);
     root_done_ = false;
   }
-  auto* root = new task_frame(this, nullptr);
+  task_frame* root = alloc_frame(nullptr);
   root->fn = std::move(fn);
-  root->completion_hooks.push_back(std::function<void()>([this] {
+  root->completion_hooks.push_back(hook_fn([this] {
     {
       std::lock_guard<std::mutex> lk(done_mu_);
       root_done_ = true;
@@ -84,13 +104,21 @@ void scheduler::enqueue(task_frame* t) {
   } else {
     std::lock_guard<std::mutex> lk(inj_mu_);
     injector_.push_back(t);
+    inj_count_.store(injector_.size(), std::memory_order_release);
   }
-  work_epoch_.fetch_add(1, std::memory_order_release);
+  // Publish-then-check handshake with parking workers: the task publish
+  // above must be ordered before the idle probe, exactly as a parking
+  // worker orders its num_idle_ increment before its last work probe
+  // (worker_main). One of the two sides is guaranteed to see the other, so
+  // spawns with no parked worker — the hot path — touch neither the shared
+  // work_epoch_ line nor the condition variable.
+  std::atomic_thread_fence(std::memory_order_seq_cst);
   wake_idle();
 }
 
 void scheduler::wake_idle() {
-  if (num_idle_.load(std::memory_order_acquire) > 0) {
+  if (num_idle_.load(std::memory_order_relaxed) > 0) {
+    work_epoch_.fetch_add(1, std::memory_order_release);
     idle_cv_.notify_one();
   }
 }
@@ -98,6 +126,8 @@ void scheduler::wake_idle() {
 task_frame* scheduler::try_steal(worker_ctx& w) {
   const unsigned n = static_cast<unsigned>(workers_.size());
   if (n <= 1) return nullptr;
+  std::uint64_t attempts = 0;
+  task_frame* found = nullptr;
   // xorshift for victim selection; two sweeps over all other workers.
   for (unsigned round = 0; round < 2 * n; ++round) {
     w.rng ^= w.rng << 13;
@@ -105,27 +135,43 @@ task_frame* scheduler::try_steal(worker_ctx& w) {
     w.rng ^= w.rng << 17;
     unsigned victim = static_cast<unsigned>(w.rng % n);
     if (victim == w.index) victim = (victim + 1) % n;
-    st_steal_attempts_.fetch_add(1, std::memory_order_relaxed);
+    ++attempts;
     if (task_frame* t = workers_[victim]->deque.steal()) {
-      st_steals_.fetch_add(1, std::memory_order_relaxed);
-      return t;
+      w.counters.steals.fetch_add(1, std::memory_order_relaxed);
+      found = t;
+      break;
     }
   }
-  return nullptr;
+  w.counters.steal_attempts.fetch_add(attempts, std::memory_order_relaxed);
+  return found;
+}
+
+task_frame* scheduler::pop_injector() {
+  // The count gate keeps the empty case (the common one) lock-free.
+  if (inj_count_.load(std::memory_order_acquire) == 0) return nullptr;
+  std::lock_guard<std::mutex> lk(inj_mu_);
+  if (injector_.empty()) return nullptr;
+  task_frame* t = injector_.front();
+  injector_.pop_front();
+  inj_count_.store(injector_.size(), std::memory_order_release);
+  return t;
 }
 
 task_frame* scheduler::find_task(worker_ctx& w) {
   if (task_frame* t = w.deque.pop_bottom()) return t;
+  // Poll the injector before the steal sweep: external submissions must not
+  // starve behind 2·n failed steal rounds.
+  if (task_frame* t = pop_injector()) return t;
   if (task_frame* t = try_steal(w)) return t;
-  {
-    std::lock_guard<std::mutex> lk(inj_mu_);
-    if (!injector_.empty()) {
-      task_frame* t = injector_.front();
-      injector_.pop_front();
-      return t;
-    }
+  return pop_injector();
+}
+
+bool scheduler::work_available() const {
+  if (inj_count_.load(std::memory_order_relaxed) > 0) return true;
+  for (const auto& w : workers_) {
+    if (w->deque.size_estimate() > 0) return true;
   }
-  return nullptr;
+  return false;
 }
 
 namespace {
@@ -188,7 +234,7 @@ bool scheduler::help_one() {
       deferred = t;
       continue;
     }
-    st_helps_.fetch_add(1, std::memory_order_relaxed);
+    w->counters.helps.fetch_add(1, std::memory_order_relaxed);
     execute(t);
     return true;
   }
@@ -201,7 +247,7 @@ void scheduler::execute(task_frame* t) {
   task_frame* prev = w->current;
   t->exec_parent = prev;
   w->current = t;
-  st_executed_.fetch_add(1, std::memory_order_relaxed);
+  w->counters.executed.fetch_add(1, std::memory_order_relaxed);
 
   t->fn();
   // Implicit sync: a task returns only once all its children completed
@@ -231,7 +277,7 @@ void scheduler::finish(task_frame* t) {
   // 3. Notify the parent's join counter last, so that a parent passing its
   //    sync observes all effects of this child.
   task_frame* parent = t->parent;
-  delete t;
+  free_frame(t);
   if (parent != nullptr) {
     parent->live_children.fetch_sub(1, std::memory_order_release);
   }
@@ -257,16 +303,22 @@ void scheduler::worker_main(unsigned index) {
     }
     bo.pause();
     if (bo.is_yielding()) {
-      // Park until new work is enqueued (epoch moves) or shutdown. The
-      // timeout is a safety net against the benign snapshot race in
-      // find_task/steal; it bounds any stall to one period.
-      std::unique_lock<std::mutex> lk(idle_mu_);
-      num_idle_.fetch_add(1, std::memory_order_release);
-      idle_cv_.wait_for(lk, std::chrono::milliseconds(10), [&] {
-        return stop_.load(std::memory_order_acquire) ||
-               work_epoch_.load(std::memory_order_acquire) != epoch;
-      });
-      num_idle_.fetch_sub(1, std::memory_order_release);
+      // Park until new work is enqueued (epoch moves) or shutdown. Advertise
+      // idleness first, then probe once more: an enqueue() that missed the
+      // increment must have published its task before its idle check (both
+      // sides fence seq_cst), so either it wakes us or we see its task here.
+      // The timeout is a safety net against the residual notify race; it
+      // bounds any stall to one period.
+      num_idle_.fetch_add(1, std::memory_order_seq_cst);
+      std::atomic_thread_fence(std::memory_order_seq_cst);
+      if (!work_available()) {
+        std::unique_lock<std::mutex> lk(idle_mu_);
+        idle_cv_.wait_for(lk, std::chrono::milliseconds(10), [&] {
+          return stop_.load(std::memory_order_acquire) ||
+                 work_epoch_.load(std::memory_order_acquire) != epoch;
+        });
+      }
+      num_idle_.fetch_sub(1, std::memory_order_relaxed);
     }
   }
   detail::t_worker = nullptr;
@@ -274,22 +326,24 @@ void scheduler::worker_main(unsigned index) {
 
 scheduler::stats_t scheduler::stats() const {
   stats_t s;
-  s.spawns = st_spawns_.load(std::memory_order_relaxed);
-  s.executed = st_executed_.load(std::memory_order_relaxed);
-  s.steals = st_steals_.load(std::memory_order_relaxed);
-  s.steal_attempts = st_steal_attempts_.load(std::memory_order_relaxed);
-  s.helps = st_helps_.load(std::memory_order_relaxed);
+  for (const auto& w : workers_) {
+    s.spawns += w->counters.spawns.load(std::memory_order_relaxed);
+    s.executed += w->counters.executed.load(std::memory_order_relaxed);
+    s.steals += w->counters.steals.load(std::memory_order_relaxed);
+    s.steal_attempts += w->counters.steal_attempts.load(std::memory_order_relaxed);
+    s.helps += w->counters.helps.load(std::memory_order_relaxed);
+  }
   return s;
 }
 
 void scheduler::reset_stats() {
-  st_spawns_.store(0, std::memory_order_relaxed);
-  st_executed_.store(0, std::memory_order_relaxed);
-  st_steals_.store(0, std::memory_order_relaxed);
-  st_steal_attempts_.store(0, std::memory_order_relaxed);
-  st_helps_.store(0, std::memory_order_relaxed);
+  for (auto& w : workers_) {
+    w->counters.spawns.store(0, std::memory_order_relaxed);
+    w->counters.executed.store(0, std::memory_order_relaxed);
+    w->counters.steals.store(0, std::memory_order_relaxed);
+    w->counters.steal_attempts.store(0, std::memory_order_relaxed);
+    w->counters.helps.store(0, std::memory_order_relaxed);
+  }
 }
-
-void scheduler::count_spawn() { st_spawns_.fetch_add(1, std::memory_order_relaxed); }
 
 }  // namespace hq

@@ -7,6 +7,14 @@
 // executing ready tasks — this realizes the paper's block-the-worker policy
 // (Section 4.5) without losing progress, and makes single-worker execution
 // of pipelines deadlock-free.
+//
+// Hot-path design (the "scale-free" requirement of the paper's Section 1:
+// one task per element/batch must stay cheap at any worker count):
+//  * task frames come from a per-worker magazine pool (sched/obj_pool.hpp) —
+//    steady-state pipelines spawn with zero mallocs;
+//  * event counters are per-worker cache lines, aggregated in stats();
+//  * enqueue() touches the shared work_epoch_/idle_cv_ lines only when a
+//    worker is actually parked.
 #pragma once
 
 #include <atomic>
@@ -15,11 +23,14 @@
 #include <deque>
 #include <memory>
 #include <mutex>
+#include <new>
 #include <thread>
 #include <vector>
 
 #include "conc/backoff.hpp"
+#include "conc/cache.hpp"
 #include "conc/chase_lev_deque.hpp"
+#include "sched/obj_pool.hpp"
 #include "sched/task.hpp"
 #include "sched/task_fn.hpp"
 
@@ -33,6 +44,18 @@ struct worker_ctx {
   chase_lev_deque<task_frame> deque;
   std::uint64_t rng = 0;
   task_frame* current = nullptr;
+
+  /// Monotonic event counters on the worker's own cache line: written
+  /// relaxed by the owning worker only, read by scheduler::stats() from any
+  /// thread. Keeping them out of the scheduler object removes the shared
+  /// fetch_add per spawn/execute/steal.
+  struct alignas(kCacheLine) counters_t {
+    std::atomic<std::uint64_t> spawns{0};
+    std::atomic<std::uint64_t> executed{0};
+    std::atomic<std::uint64_t> steals{0};
+    std::atomic<std::uint64_t> steal_attempts{0};
+    std::atomic<std::uint64_t> helps{0};
+  } counters;
 };
 
 }  // namespace detail
@@ -63,7 +86,8 @@ class scheduler {
   /// Scheduler of the calling worker thread (null on external threads).
   static scheduler* current() noexcept;
 
-  /// Monotonic event counters, for the overhead benches.
+  /// Monotonic event counters, for the overhead benches. Aggregated from the
+  /// per-worker counters (see worker_ctx::counters_t).
   struct stats_t {
     std::uint64_t spawns = 0;
     std::uint64_t executed = 0;
@@ -73,9 +97,48 @@ class scheduler {
   };
   [[nodiscard]] stats_t stats() const;
   void reset_stats();
-  void count_spawn();
+
+  /// Task-frame pool counters, mirroring hyperqueue<T>::pool_stats(): in a
+  /// steady-state pipeline `allocated` plateaus while `recycled` grows —
+  /// every spawn past warm-up reuses a frame instead of calling malloc.
+  [[nodiscard]] detail::obj_pool::stats_t frame_pool_stats() const {
+    return frame_pool_.stats();
+  }
+  /// Same counters for the hyperqueue-attachment (qattach) pool.
+  [[nodiscard]] detail::obj_pool::stats_t attach_pool_stats() const {
+    return attach_pool_.stats();
+  }
 
   // ------------- internal API (spawn/sync/hyperqueue machinery) -----------
+
+  /// Allocate + construct a task frame from the calling worker's magazine
+  /// (plain heap when called from a non-worker thread, e.g. for roots).
+  detail::task_frame* alloc_frame(detail::task_frame* parent) {
+    const unsigned owner = my_worker_index();
+    void* mem = frame_pool_.alloc(owner);
+    auto* fr = ::new (mem) detail::task_frame(this, parent);
+    fr->pool_owner = owner;
+    return fr;
+  }
+
+  /// Destroy a completed frame and recycle its memory into the owning
+  /// magazine (bounded cross-worker return when freed by another worker).
+  void free_frame(detail::task_frame* t) {
+    const unsigned owner = t->pool_owner;
+    t->~task_frame();
+    frame_pool_.free(t, owner, my_worker_index());
+  }
+
+  /// Pooled fixed-size blocks for hyperqueue attachments (core/queue_cb.*).
+  /// The caller placement-constructs a qattach in the block and stashes
+  /// *owner for the matching free.
+  void* alloc_attach_block(unsigned* owner) {
+    *owner = my_worker_index();
+    return attach_pool_.alloc(*owner);
+  }
+  void free_attach_block(void* p, unsigned owner) {
+    attach_pool_.free(p, owner, my_worker_index());
+  }
 
   /// Make a ready frame available for execution.
   void enqueue(detail::task_frame* t);
@@ -100,10 +163,19 @@ class scheduler {
  private:
   friend struct detail::worker_ctx;
 
+  /// Index of the calling thread's magazine in this scheduler's pools
+  /// (kPoolExternal when the thread is not one of our workers).
+  unsigned my_worker_index() const noexcept {
+    detail::worker_ctx* w = detail::t_worker;
+    return (w != nullptr && w->sched == this) ? w->index : detail::kPoolExternal;
+  }
+
   void run_root(task_fn fn);
   void worker_main(unsigned index);
   detail::task_frame* find_task(detail::worker_ctx& w);
   detail::task_frame* try_steal(detail::worker_ctx& w);
+  detail::task_frame* pop_injector();
+  bool work_available() const;
   void execute(detail::task_frame* t);
   void finish(detail::task_frame* t);
   void satisfy(detail::task_frame* t);
@@ -112,9 +184,15 @@ class scheduler {
   std::vector<std::unique_ptr<detail::worker_ctx>> workers_;
   std::vector<std::thread> threads_;
 
-  // External / overflow submission channel.
+  // Frame / attachment recycling (see sched/obj_pool.hpp).
+  detail::obj_pool frame_pool_;
+  detail::obj_pool attach_pool_;
+
+  // External / overflow submission channel. inj_count_ lets the hot path
+  // skip the lock when the injector is empty (the common case).
   std::mutex inj_mu_;
   std::deque<detail::task_frame*> injector_;
+  std::atomic<std::size_t> inj_count_{0};
 
   // Idle-worker parking.
   std::mutex idle_mu_;
@@ -127,9 +205,6 @@ class scheduler {
   std::mutex done_mu_;
   std::condition_variable done_cv_;
   bool root_done_ = false;
-
-  std::atomic<std::uint64_t> st_spawns_{0}, st_executed_{0}, st_steals_{0},
-      st_steal_attempts_{0}, st_helps_{0};
 };
 
 }  // namespace hq

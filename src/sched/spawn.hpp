@@ -47,7 +47,7 @@ task_frame* make_task(F&& f, Args&&... args) {
   assert(w != nullptr && w->current != nullptr &&
          "spawn() is only valid inside a task (use scheduler::run for the root)");
   task_frame* parent = w->current;
-  auto* fr = new task_frame(w->sched, parent);
+  task_frame* fr = w->sched->alloc_frame(parent);  // per-worker magazine pool
   parent->live_children.fetch_add(1, std::memory_order_relaxed);
   // Build the argument tuple; wrapper resolution registers dependences and
   // performs hyperqueue view transfers for this spawn.
@@ -56,7 +56,7 @@ task_frame* make_task(F&& f, Args&&... args) {
       [func = std::decay_t<F>(std::forward<F>(f)), tup = std::move(bound)]() mutable {
         std::apply(func, std::move(tup));
       });
-  w->sched->count_spawn();
+  w->counters.spawns.fetch_add(1, std::memory_order_relaxed);
   return fr;
 }
 
@@ -96,11 +96,14 @@ void call(F&& f, Args&&... args) {
   assert(w != nullptr && w->current != nullptr && "call() outside a task");
   detail::task_frame* fr =
       detail::make_task(std::forward<F>(f), std::forward<Args>(args)...);
-  auto done = std::make_shared<std::atomic<bool>>(false);
-  fr->completion_hooks.push_back(std::function<void()>(
-      [done] { done->store(true, std::memory_order_release); }));
+  // The calling task's stack outlives the wait below (and the hook runs
+  // before the callee's frame notifies our join counter), so a stack-local
+  // flag suffices — no shared_ptr allocation on the call path.
+  std::atomic<bool> done{false};
+  fr->completion_hooks.push_back(
+      hook_fn([&done] { done.store(true, std::memory_order_release); }));
   detail::launch(fr);
-  w->sched->wait_until([&] { return done->load(std::memory_order_acquire); });
+  w->sched->wait_until([&] { return done.load(std::memory_order_acquire); });
 }
 
 /// Number of workers of the scheduler executing the calling task (1 when

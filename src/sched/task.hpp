@@ -10,7 +10,6 @@
 #include <atomic>
 #include <cassert>
 #include <cstdint>
-#include <functional>
 #include <mutex>
 
 #include "conc/inline_vec.hpp"
@@ -36,6 +35,11 @@ struct task_frame {
   task_frame* const parent;
   const unsigned depth;
 
+  /// Magazine that owns this frame's memory (kPoolExternal for frames
+  /// heap-allocated outside any worker, e.g. roots launched from external
+  /// threads). Set by scheduler::alloc_frame right after construction.
+  unsigned pool_owner = ~0u;
+
   /// Frame this one is nested on via help-while-blocked execution (the
   /// worker's execution stack, not the spawn tree). Set by execute(); only
   /// meaningful while the frame runs, and only read by its own worker.
@@ -59,7 +63,8 @@ struct task_frame {
 
   /// Actions run at completion (after the implicit sync, before dependents
   /// are notified): tracker deregistration, hyperqueue view reduction.
-  inline_vec<std::function<void()>, 4> completion_hooks;
+  /// hook_fn keeps these allocation-free (every runtime hook fits inline).
+  inline_vec<hook_fn, 4> completion_hooks;
 
   /// Hyperqueue attachments of this task (owned by the queue control block).
   inline_vec<qattach*, 2> attachments;

@@ -1,8 +1,15 @@
-// Type-erased nullary task closure with small-buffer optimization.
+// Type-erased nullary closures with small-buffer optimization.
 //
-// Every spawned task's body (user function + bound arguments) is stored in a
-// task_fn inside the task frame. Closures up to kInlineBytes live inline in
-// the frame allocation; larger ones take one extra heap allocation.
+// basic_fn<N> is a move-only `void()` wrapper whose closure lives inline in
+// the owning object up to N bytes (one heap allocation beyond that). Two
+// instantiations serve the runtime:
+//
+//   task_fn — every spawned task's body (user function + bound arguments);
+//             120 inline bytes cover typical pipelines' stage closures.
+//   hook_fn — completion hooks (tracker deregistration, hyperqueue view
+//             reduction, call/root signalling); every runtime hook captures
+//             at most a pointer pair or a shared_ptr + pointer, so 24 inline
+//             bytes make completion allocation-free.
 #pragma once
 
 #include <cstddef>
@@ -13,16 +20,30 @@
 
 namespace hq {
 
-/// Move-only `void()` callable wrapper tuned for task frames.
-class task_fn {
- public:
-  static constexpr std::size_t kInlineBytes = 120;
+template <std::size_t InlineBytes>
+class basic_fn;
 
-  task_fn() = default;
+namespace detail {
+/// Any basic_fn instantiation — the converting constructor must reject them
+/// all, not just its own size, or a task_fn passed where a hook_fn is
+/// expected would silently double-wrap through the heap path.
+template <typename T>
+struct is_basic_fn : std::false_type {};
+template <std::size_t N>
+struct is_basic_fn<basic_fn<N>> : std::true_type {};
+}  // namespace detail
+
+/// Move-only `void()` callable wrapper tuned for task frames.
+template <std::size_t InlineBytes>
+class basic_fn {
+ public:
+  static constexpr std::size_t kInlineBytes = InlineBytes;
+
+  basic_fn() = default;
 
   template <typename F,
-            typename = std::enable_if_t<!std::is_same_v<std::decay_t<F>, task_fn>>>
-  task_fn(F&& f) {  // NOLINT(google-explicit-constructor): mirrors std::function
+            typename = std::enable_if_t<!detail::is_basic_fn<std::decay_t<F>>::value>>
+  basic_fn(F&& f) {  // NOLINT(google-explicit-constructor): mirrors std::function
     using Fn = std::decay_t<F>;
     static_assert(std::is_invocable_r_v<void, Fn&>, "task body must be callable as void()");
     if constexpr (sizeof(Fn) <= kInlineBytes && alignof(Fn) <= alignof(std::max_align_t) &&
@@ -35,9 +56,9 @@ class task_fn {
     }
   }
 
-  task_fn(task_fn&& other) noexcept { move_from(std::move(other)); }
+  basic_fn(basic_fn&& other) noexcept { move_from(std::move(other)); }
 
-  task_fn& operator=(task_fn&& other) noexcept {
+  basic_fn& operator=(basic_fn&& other) noexcept {
     if (this != &other) {
       reset();
       move_from(std::move(other));
@@ -45,10 +66,10 @@ class task_fn {
     return *this;
   }
 
-  task_fn(const task_fn&) = delete;
-  task_fn& operator=(const task_fn&) = delete;
+  basic_fn(const basic_fn&) = delete;
+  basic_fn& operator=(const basic_fn&) = delete;
 
-  ~task_fn() { reset(); }
+  ~basic_fn() { reset(); }
 
   /// Invoke the stored closure. Must not be empty.
   void operator()() { vt_->invoke(buf_); }
@@ -89,7 +110,7 @@ class task_fn {
       },
   };
 
-  void move_from(task_fn&& other) noexcept {
+  void move_from(basic_fn&& other) noexcept {
     vt_ = other.vt_;
     if (vt_) {
       vt_->relocate(buf_, other.buf_);
@@ -100,5 +121,8 @@ class task_fn {
   const vtable* vt_ = nullptr;
   alignas(std::max_align_t) unsigned char buf_[kInlineBytes];
 };
+
+using task_fn = basic_fn<120>;
+using hook_fn = basic_fn<24>;
 
 }  // namespace hq
