@@ -1,0 +1,96 @@
+#!/usr/bin/env python3
+"""Diff two BENCH_*.json trajectory records and fail on perf regressions.
+
+Usage:
+    bench_compare.py BASELINE.json CURRENT.json [--threshold 0.15]
+                     [--records name1,name2,...]
+
+Both files are the records emitted by the bench harnesses (bench_json.hpp /
+bench_slice_apps): a top-level object with a "results" array of
+{"name", "ns_per_op", ...} entries. For every benchmark present in the
+baseline (or the --records subset), the relative ns_per_op change is
+computed; any regression above --threshold (default 15%) fails the run with
+exit code 1, as does a benchmark that vanished from the current record or a
+current record with "all_ok": false.
+
+Quick-mode numbers are noisy; the CI gate runs this advisory
+(continue-on-error) against the committed bench/baselines/ snapshot so the
+trajectory is visible without blocking merges on runner jitter.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_results(path):
+    with open(path) as f:
+        doc = json.load(f)
+    rows = {r["name"]: r for r in doc.get("results", [])}
+    # BENCH_slice.json shape: {"apps": [{"app", "runs": [{"workers",
+    # "element_s", "slice_s", ...}]}]} — flatten each timing into a record.
+    for app in doc.get("apps", []):
+        for run in app.get("runs", []):
+            for key in ("element_s", "slice_s"):
+                if key in run:
+                    name = f"{app['app']}/w{run['workers']}/{key[:-2]}"
+                    rows[name] = {"name": name, "ns_per_op": run[key] * 1e9}
+    return doc, rows
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("baseline")
+    ap.add_argument("current")
+    ap.add_argument("--threshold", type=float, default=0.15,
+                    help="max allowed relative ns_per_op regression (default 0.15)")
+    ap.add_argument("--records", default="",
+                    help="comma-separated benchmark names to gate on "
+                         "(default: every baseline record)")
+    args = ap.parse_args()
+
+    base_doc, base = load_results(args.baseline)
+    cur_doc, cur = load_results(args.current)
+
+    names = [n for n in args.records.split(",") if n] or sorted(base)
+    failures = []
+    width = max((len(n) for n in names), default=4)
+    print(f"{'benchmark':<{width}}  {'base ns/op':>12}  {'cur ns/op':>12}  {'delta':>8}")
+    for name in names:
+        if name not in base:
+            failures.append(f"{name}: not in baseline {args.baseline}")
+            continue
+        if name not in cur:
+            failures.append(f"{name}: missing from current record")
+            print(f"{name:<{width}}  {base[name]['ns_per_op']:>12.1f}  {'MISSING':>12}")
+            continue
+        b = base[name]["ns_per_op"]
+        c = cur[name]["ns_per_op"]
+        delta = (c - b) / b if b > 0 else 0.0
+        flag = ""
+        if delta > args.threshold:
+            failures.append(f"{name}: {delta:+.1%} ns_per_op regression "
+                            f"({b:.1f} -> {c:.1f})")
+            flag = "  << REGRESSION"
+        print(f"{name:<{width}}  {b:>12.1f}  {c:>12.1f}  {delta:>+7.1%}{flag}")
+
+    extra = sorted(set(cur) - set(base))
+    if extra:
+        print(f"note: {len(extra)} benchmark(s) not in baseline: {', '.join(extra)}")
+
+    if cur_doc.get("all_ok") is False:
+        failures.append("current record reports all_ok=false "
+                        "(correctness probe failed)")
+
+    if failures:
+        print(f"\nFAIL ({args.current} vs {args.baseline}):", file=sys.stderr)
+        for f in failures:
+            print(f"  {f}", file=sys.stderr)
+        return 1
+    print(f"OK: no regression over {args.threshold:.0%} "
+          f"({len(names)} records checked)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

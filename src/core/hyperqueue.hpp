@@ -23,6 +23,9 @@
 
 #include <cassert>
 #include <cstddef>
+#include <cstring>
+#include <iterator>
+#include <memory>
 #include <new>
 #include <type_traits>
 #include <utility>
@@ -43,7 +46,18 @@ class pushpopdep;
 /// tests and benches.
 using seg_pool_stats = detail::seg_pool_stats;
 
+/// Data-path slow-event counters (see detail::data_path_stats): remote
+/// index reloads and mutex acquisitions on the element path. The fast path
+/// increments none of them.
+using data_path_stats = detail::data_path_stats;
+
 namespace detail {
+
+/// T qualifies for the batched memcpy transfer path: relocation (move +
+/// destroy source) is equivalent to a byte copy.
+template <typename T>
+inline constexpr bool is_trivially_relocatable_v =
+    std::is_trivially_copyable_v<T> && std::is_trivially_destructible_v<T>;
 
 template <typename T>
 element_ops make_element_ops() {
@@ -52,10 +66,21 @@ element_ops make_element_ops() {
   element_ops ops;
   ops.size = sizeof(T);
   ops.align = alignof(T);
+  ops.trivial_copy = is_trivially_relocatable_v<T>;
+  ops.trivial_destroy = std::is_trivially_destructible_v<T>;
   ops.move_construct = [](void* dst, void* src) noexcept {
     ::new (dst) T(std::move(*static_cast<T*>(src)));
   };
   ops.destroy = [](void* p) noexcept { static_cast<T*>(p)->~T(); };
+  ops.move_construct_n = [](void* dst, void* src, std::size_t n) noexcept {
+    T* d = static_cast<T*>(dst);
+    T* s = static_cast<T*>(src);
+    for (std::size_t i = 0; i < n; ++i) ::new (d + i) T(std::move(s[i]));
+  };
+  ops.destroy_n = [](void* p, std::size_t n) noexcept {
+    T* e = static_cast<T*>(p);
+    for (std::size_t i = 0; i < n; ++i) e[i].~T();
+  };
   return ops;
 }
 
@@ -83,6 +108,8 @@ struct typed_ops {
 template <typename T>
 class write_slice {
  public:
+  using value_type = T;
+
   write_slice(detail::queue_cb* cb, T* data, std::size_t n)
       : cb_(cb), data_(data), size_(n) {}
 
@@ -96,6 +123,16 @@ class write_slice {
     ++filled_;
   }
 
+  /// Batched append for trivially-relocatable element types: one memcpy for
+  /// `n` elements after the already-filled prefix (Section 5.2 bulk path).
+  void fill(const T* src, std::size_t n) {
+    static_assert(detail::is_trivially_relocatable_v<T>,
+                  "fill() is the trivial-type bulk path; use emplace()");
+    assert(filled_ + n <= size_);
+    std::memcpy(static_cast<void*>(data_ + filled_), src, n * sizeof(T));
+    filled_ += n;
+  }
+
   [[nodiscard]] std::size_t filled() const noexcept { return filled_; }
 
   /// Publish the first `n` elements (defaults to all filled). A prefix
@@ -105,7 +142,9 @@ class write_slice {
   void commit() { commit(filled_); }
   void commit(std::size_t n) {
     assert(n <= filled_);
-    for (std::size_t i = n; i < filled_; ++i) data_[i].~T();
+    if constexpr (!std::is_trivially_destructible_v<T>) {
+      for (std::size_t i = n; i < filled_; ++i) data_[i].~T();
+    }
     cb_->commit_write(n);
     size_ = 0;
     filled_ = 0;
@@ -170,12 +209,21 @@ class read_slice {
 /// (pushdep, pushpopdep, hyperqueue).
 template <typename Q, typename It>
 void push_slices(Q& q, It first, It last, std::size_t batch) {
+  using V = typename std::iterator_traits<It>::value_type;
   while (first != last) {
     const auto remain = static_cast<std::size_t>(last - first);
     auto ws = q.get_write_slice(batch < remain ? batch : remain);
     const std::size_t n = ws.size();
-    for (std::size_t i = 0; i < n; ++i, ++first) {
-      ws.emplace(i, std::move(*first));
+    if constexpr (std::contiguous_iterator<It> &&
+                  std::is_same_v<V, typename decltype(ws)::value_type> &&
+                  detail::is_trivially_relocatable_v<V>) {
+      // Trivial-type batching: one memcpy per granted slice.
+      ws.fill(std::to_address(first), n);
+      first += static_cast<std::ptrdiff_t>(n);
+    } else {
+      for (std::size_t i = 0; i < n; ++i, ++first) {
+        ws.emplace(i, std::move(*first));
+      }
     }
     ws.commit();
   }
@@ -266,6 +314,15 @@ class popdep : public detail::dep_base {
     return read_slice<T>(cb_, static_cast<T*>(p), static_cast<std::size_t>(n));
   }
 
+  /// Batched pop for trivially-relocatable element types: relocates up to
+  /// `max` ready elements into `out` (one memcpy per contiguous run).
+  /// Returns the count transferred; 0 only at definitive end-of-queue.
+  std::size_t pop_bulk(T* out, std::size_t max) {
+    static_assert(detail::is_trivially_relocatable_v<T>,
+                  "pop_bulk is the trivial-type bulk path; use pop()/read_slice");
+    return static_cast<std::size_t>(cb_->pop_n(out, max));
+  }
+
   popdep hq_dep_resolve(detail::task_frame* fr) const {
     cb_->attach_spawn(fr, detail::kPrivPop);
     return *this;
@@ -291,6 +348,11 @@ class pushpopdep : public detail::dep_base {
     std::uint64_t n = 0;
     void* p = cb_->read_slice(want, &n);
     return read_slice<T>(cb_, static_cast<T*>(p), static_cast<std::size_t>(n));
+  }
+  std::size_t pop_bulk(T* out, std::size_t max) {
+    static_assert(detail::is_trivially_relocatable_v<T>,
+                  "pop_bulk is the trivial-type bulk path; use pop()/read_slice");
+    return static_cast<std::size_t>(cb_->pop_n(out, max));
   }
 
   pushpopdep hq_dep_resolve(detail::task_frame* fr) const {
@@ -338,6 +400,11 @@ class hyperqueue {
     void* p = cb_->read_slice(want, &n);
     return read_slice<T>(cb_, static_cast<T*>(p), static_cast<std::size_t>(n));
   }
+  std::size_t pop_bulk(T* out, std::size_t max) {
+    static_assert(detail::is_trivially_relocatable_v<T>,
+                  "pop_bulk is the trivial-type bulk path; use pop()/read_slice");
+    return static_cast<std::size_t>(cb_->pop_n(out, max));
+  }
 
   // Access-mode casts used at spawn sites, as in the paper.
   operator pushdep<T>() const { return pushdep<T>(cb_); }          // NOLINT
@@ -351,6 +418,11 @@ class hyperqueue {
   /// reuses, and the in-use high-water mark. In steady state `allocated`
   /// stops growing and equals `high_water`.
   [[nodiscard]] seg_pool_stats pool_stats() const { return cb_->pool_stats(); }
+
+  /// Data-path slow-event counters: remote index reloads (bounded by one
+  /// per segment-capacity of elements in steady state) and mutex
+  /// acquisitions on the element path (zero on the fast path).
+  [[nodiscard]] data_path_stats data_stats() const { return cb_->data_stats(); }
 
   // Selective sync (Section 5.5): suspend the calling task until its
   // children with the given access mode on this queue have completed.

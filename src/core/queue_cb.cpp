@@ -22,9 +22,9 @@ void wait_step(backoff& bo) {
 }
 
 /// Attachments recycle through the calling scheduler's per-worker attach
-/// pool; both calls always run on a worker of the scheduler that owns the
-/// enclosing task (spawn-argument resolution and completion hooks execute
-/// there), so alloc and free hit the same pool.
+/// pool (sched/obj_pool.hpp); both calls always run on a worker of the
+/// scheduler that owns the enclosing task (spawn-argument resolution and
+/// completion hooks execute there), so alloc and free hit the same pool.
 qattach* alloc_qattach() {
   if (scheduler* s = scheduler::current()) {
     unsigned owner = kPoolExternal;
@@ -57,7 +57,11 @@ queue_cb::queue_cb(element_ops o, std::uint64_t segment_capacity)
 
 queue_cb::~queue_cb() {
   assert(owner == nullptr && "queue control block released before detach_owner");
-  // Drain the segment free list.
+  // Drain the one-slot cache and the segment free list.
+  if (segment* s = seg_cache_.exchange(nullptr, std::memory_order_relaxed)) {
+    segment::destroy(s);
+    seg_live.fetch_sub(1, std::memory_order_relaxed);
+  }
   while (free_list != nullptr) {
     segment* s = free_list;
     free_list = s->next.load(std::memory_order_relaxed);
@@ -80,6 +84,15 @@ segment* queue_cb::alloc_segment() {
          !seg_high_water.compare_exchange_weak(hw, in_use,
                                                std::memory_order_relaxed)) {
   }
+  // Lock-free front of the pool: the steady-state ring recycle (consumer
+  // recycles the drained segment, producer allocates the next wrap) is
+  // served entirely by this one-slot cache. The acquire pairs with the
+  // release in recycle_segment so the reset() state is visible.
+  if (segment* s = seg_cache_.exchange(nullptr, std::memory_order_acquire)) {
+    seg_recycled.fetch_add(1, std::memory_order_relaxed);
+    dp_.seg_cache_hits.fetch_add(1, std::memory_order_relaxed);
+    return s;
+  }
   {
     std::lock_guard<spinlock> lk(free_mu);
     if (free_list != nullptr) {
@@ -92,12 +105,17 @@ segment* queue_cb::alloc_segment() {
   }
   seg_live.fetch_add(1, std::memory_order_relaxed);
   seg_fresh.fetch_add(1, std::memory_order_relaxed);
-  return segment::create(seg_capacity, &ops);
+  return segment::create(seg_capacity, &ops, &dp_);
 }
 
 void queue_cb::recycle_segment(segment* s) {
   s->reset();
   seg_in_use.fetch_sub(1, std::memory_order_relaxed);
+  segment* expected = nullptr;
+  if (seg_cache_.compare_exchange_strong(expected, s, std::memory_order_release,
+                                         std::memory_order_relaxed)) {
+    return;
+  }
   std::lock_guard<spinlock> lk(free_mu);
   s->next.store(free_list, std::memory_order_relaxed);
   free_list = s;
@@ -223,8 +241,18 @@ qattach* queue_cb::attach_spawn(task_frame* child, std::uint8_t priv) {
     if ((priv & kPrivPush) != 0) {
       // Live-producer accounting for the definitive-empty test; the
       // increment walks to the owner like the paper's O(depth) early
-      // reduction.
+      // reduction. The queue-level count is the lock-free upper bound.
       for (qattach* p = ca; p != nullptr; p = p->parent) p->subtree_pushers += 1;
+      pa->live_push_children.fetch_add(1, std::memory_order_relaxed);
+      live_pushers_.fetch_add(1, std::memory_order_relaxed);
+      // The new child is older in program order than every subsequent pop of
+      // the spawning task: its definitive-empty memo is stale. (Only the
+      // spawner can be affected — any other attachment with the memo set has
+      // no live older pusher, and this spawner is not older than it, or it
+      // would have been counted.) attach_spawn runs on the spawning task's
+      // own thread, so these consumer-local fields are safe to write here.
+      pa->no_older_pushers = false;
+      pa->walk_epoch = qattach::kNeverWalked;
     }
   }
 
@@ -268,6 +296,12 @@ void queue_cb::on_task_complete(qattach* a) {
       p->subtree_pushers -= 1;
       assert(p->subtree_pushers >= 0);
     }
+    // Bump the completion epoch, then drop the live-pusher upper bound. Both
+    // are release stores sequenced after the reductions above, so a consumer
+    // that observes either with acquire also observes the new segment links
+    // without taking mu (the lock-free definitive-empty gate in wait_data).
+    pusher_completions_.fetch_add(1, std::memory_order_release);
+    live_pushers_.fetch_sub(1, std::memory_order_release);
   }
 
   // Unlink from the live sibling chain.
@@ -278,6 +312,8 @@ void queue_cb::on_task_complete(qattach* a) {
   if (pa->last_child == a) pa->last_child = a->left;
   if (pa->last_pop_child == a) pa->last_pop_child = nullptr;
   pa->live_children -= 1;
+  if ((a->priv & kPrivPush) != 0)
+    pa->live_push_children.fetch_sub(1, std::memory_order_relaxed);
   // Release: pairs with the acquire load on the parent's consumer fast path
   // (ensure_queue_view); the queue-view hand-back above must be visible to a
   // parent that observes the decremented count without taking mu.
@@ -366,6 +402,7 @@ void queue_cb::push(void* src) {
   assert(ok);
   (void)ok;
   std::lock_guard<std::mutex> lk(mu);
+  dp_.mu_view.fetch_add(1, std::memory_order_relaxed);
   auto [head_v, tail_v] = split(view::local(ns), next_nl_id++);
   merge_left_early(a, head_v);
   a->user = tail_v;
@@ -376,46 +413,35 @@ void* queue_cb::write_slice(std::uint64_t want, std::uint64_t* count) {
   if (want < 1) want = 1;
   if (want > seg_capacity) want = seg_capacity;
   if (!a->user.empty()) {
+    assert(a->user.tail_local() && "user views hold local tails while live");
     segment* s = a->user.tail;
-    const std::uint64_t t = s->tail.load(std::memory_order_relaxed);
-    const std::uint64_t h = s->head.load(std::memory_order_acquire);
-    const std::uint64_t free_total = s->capacity() - (t - h);
-    const std::uint64_t contig = std::min(s->capacity() - (t & s->mask), free_total);
-    if (contig > 0) {
-      // Grant the contiguous run even when shorter than `want`. Slices are
-      // allowed to come back short (Section 5.2), and abandoning the segment
-      // here would permanently strand its wrapped free space: a producer /
-      // consumer pair that stays in step must ring-recycle one segment, not
-      // leak a fresh one per wrap.
-      *count = std::min(want, contig);
-      return s->slot(t);
-    }
-    // Segment truly full (the run up to the wrap point is only ever zero
-    // when no slot is free at all): chain a fresh segment.
+    // Grant the contiguous run even when shorter than `want`. Slices are
+    // allowed to come back short (Section 5.2), and abandoning the segment
+    // here would permanently strand its wrapped free space: a producer /
+    // consumer pair that stays in step must ring-recycle one segment, not
+    // leak a fresh one per wrap.
+    if (void* p = s->acquire_write(want, count)) return p;
+    // Segment truly full: chain a fresh one.
     segment* ns = alloc_segment();
     s->next.store(ns, std::memory_order_release);
     a->user.tail = ns;
-    *count = want;
-    return ns->slot(0);
+    return ns->acquire_write(want, count);
   }
   segment* ns = alloc_segment();
   {
     std::lock_guard<std::mutex> lk(mu);
+    dp_.mu_view.fetch_add(1, std::memory_order_relaxed);
     auto [head_v, tail_v] = split(view::local(ns), next_nl_id++);
     merge_left_early(a, head_v);
     a->user = tail_v;
   }
-  *count = want;
-  return ns->slot(0);
+  return ns->acquire_write(want, count);
 }
 
 void queue_cb::commit_write(std::uint64_t produced) {
   qattach* a = my_attachment(kPrivPush);
   assert(!a->user.empty() && a->user.tail_local());
-  segment* s = a->user.tail;
-  const std::uint64_t t = s->tail.load(std::memory_order_relaxed);
-  assert(t + produced - s->head.load(std::memory_order_acquire) <= s->capacity());
-  s->tail.store(t + produced, std::memory_order_release);
+  a->user.tail->publish_write(produced);
 }
 
 // ---------------------------------------------------------------- consumer
@@ -432,19 +458,21 @@ void queue_cb::ensure_queue_view(qattach* a) {
   }
   backoff bo;
   for (;;) {
-    {
+    // Program order: our own pops resume only after our pop children are
+    // done (they are earlier in the serial elision). While any is live the
+    // view cannot be ours, so do not touch mu; the acquire pairs with the
+    // completion-time release so the hand-back below is visible.
+    if (a->live_pop_children.load(std::memory_order_acquire) == 0) {
+      if (a->queue.present) return;
       std::lock_guard<std::mutex> lk(mu);
-      // Program order: our own pops resume only after our pop children are
-      // done (they are earlier in the serial elision).
-      if (a->live_pop_children.load(std::memory_order_relaxed) == 0) {
-        if (a->queue.present) return;
-        // Claim the queue view from an ancestor: after the previous consumer
-        // completed, the view travels back up the spawn tree.
-        for (qattach* anc = a->parent; anc != nullptr; anc = anc->parent) {
-          if (anc->queue.present) {
-            a->queue = anc->queue.take();
-            return;
-          }
+      dp_.mu_data.fetch_add(1, std::memory_order_relaxed);
+      if (a->queue.present) return;
+      // Claim the queue view from an ancestor: after the previous consumer
+      // completed, the view travels back up the spawn tree.
+      for (qattach* anc = a->parent; anc != nullptr; anc = anc->parent) {
+        if (anc->queue.present) {
+          a->queue = anc->queue.take();
+          return;
         }
       }
     }
@@ -471,57 +499,82 @@ segment* queue_cb::wait_data(qattach* a) {
   ensure_queue_view(a);
   backoff bo;
   for (;;) {
-    if (segment* s = poll_chain(a)) return s;
-    bool definitive;
-    {
-      std::lock_guard<std::mutex> lk(mu);
-      definitive = older_pushers(a) == 0;
+    if (segment* s = poll_chain(a)) {
+      a->ready_seg = s;
+      return s;
     }
-    if (definitive) {
-      // Completion cascades run under mu before the counters drop, so after
-      // observing zero all links are in place; one final poll decides.
-      if (segment* s = poll_chain(a)) return s;
+    if (a->no_older_pushers) {
+      // The gate below only fires after completion cascades are visible, so
+      // the failed poll above was already conclusive.
+      a->ready_seg = nullptr;
       return nullptr;
+    }
+    if (live_pushers_.load(std::memory_order_acquire) == 0) {
+      // The queue-wide upper bound hit zero: no older pusher is live and
+      // none can appear (any spawner of a push child is itself counted).
+      // The acquire pairs with the post-cascade release decrement, so the
+      // re-poll next iteration sees every link — no mu needed.
+      a->no_older_pushers = true;
+      continue;
+    }
+    const std::uint64_t epoch = pusher_completions_.load(std::memory_order_acquire);
+    if (epoch != a->walk_epoch) {
+      // Pushers are live, and one completed since we last looked: only now
+      // can the exact answer have changed, so only now take mu and walk.
+      // A consumer merely outrunning a live producer settles into lock-free
+      // polling after a single walk.
+      bool none;
+      {
+        std::lock_guard<std::mutex> lk(mu);
+        dp_.mu_data.fetch_add(1, std::memory_order_relaxed);
+        none = older_pushers(a) == 0;
+      }
+      if (none) {
+        a->no_older_pushers = true;
+        continue;
+      }
+      a->walk_epoch = epoch;
     }
     wait_step(bo);
   }
 }
 
 bool queue_cb::empty() {
-  qattach* a = my_attachment(kPrivPop);
-  return wait_data(a) == nullptr;
+  return consumer_ready(my_attachment(kPrivPop)) == nullptr;
 }
 
 void queue_cb::pop(void* dst) {
   qattach* a = my_attachment(kPrivPop);
-  segment* s = wait_data(a);
+  segment* s = consumer_ready(a);
   assert(s != nullptr && "pop() on a definitively empty hyperqueue");
   s->pop_into(dst);
+}
+
+std::uint64_t queue_cb::pop_n(void* dst, std::uint64_t max) {
+  if (max == 0) return 0;
+  qattach* a = my_attachment(kPrivPop);
+  segment* s = consumer_ready(a);
+  if (s == nullptr) return 0;
+  const std::uint64_t n = s->pop_n_into(dst, max);
+  assert(n > 0);
+  return n;
 }
 
 void* queue_cb::read_slice(std::uint64_t want, std::uint64_t* count) {
   qattach* a = my_attachment(kPrivPop);
   if (want < 1) want = 1;
-  segment* s = wait_data(a);
+  segment* s = consumer_ready(a);
   if (s == nullptr) {
     *count = 0;
     return nullptr;
   }
-  const std::uint64_t h = s->head.load(std::memory_order_relaxed);
-  const std::uint64_t t = s->tail.load(std::memory_order_acquire);
-  const std::uint64_t contig = std::min(t - h, s->capacity() - (h & s->mask));
-  *count = std::min(want, contig);
-  return s->slot(h);
+  return s->acquire_read(want, count);
 }
 
 void queue_cb::commit_read(std::uint64_t consumed) {
   qattach* a = my_attachment(kPrivPop);
   assert(a->queue.present && a->queue.head_local());
-  segment* s = a->queue.head;
-  std::uint64_t h = s->head.load(std::memory_order_relaxed);
-  assert(h + consumed <= s->tail.load(std::memory_order_acquire));
-  for (std::uint64_t i = 0; i < consumed; ++i) ops.destroy(s->slot(h + i));
-  s->head.store(h + consumed, std::memory_order_release);
+  a->queue.head->retire_read(consumed);
 }
 
 // ----------------------------------------------------------- selective sync
@@ -538,10 +591,7 @@ void queue_cb::sync_children(std::uint8_t priv_filter) {
       } else if ((priv_filter & kPrivPop) != 0) {
         pending = a->live_pop_children.load(std::memory_order_relaxed);
       } else {
-        // Push filter: count live push-privileged children.
-        for (qattach* c = a->last_child; c != nullptr; c = c->left) {
-          if ((c->priv & kPrivPush) != 0) ++pending;
-        }
+        pending = a->live_push_children.load(std::memory_order_relaxed);
       }
       if (pending == 0) return;
     }

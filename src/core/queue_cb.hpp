@@ -15,9 +15,13 @@
 //  * scheduling rules 1–4 (Section 2.3): pop-privileged tasks are serialized
 //    FIFO per parent via task dependences; push tasks are never delayed.
 //
-// Locking: `mu` guards all attachment/view structure (spawn, completion,
-// early head reduction, definitive-empty checks). Element transfers on
-// segments are lock-free SPSC fast paths.
+// Locking: `mu` guards the attachment/view structure (spawn, completion,
+// early head reduction). Element transfers on segments are lock-free SPSC
+// fast paths, and the definitive-empty check is gated lock-free: a starving
+// consumer takes `mu` for the exact older-pushers walk at most once per
+// push-privileged completion event (`pusher_completions_` epoch), and not at
+// all once the queue-wide live-pusher count (`live_pushers_`, an upper bound
+// on any consumer's older_pushers) has reached zero.
 #pragma once
 
 #include <atomic>
@@ -53,6 +57,18 @@ struct seg_pool_stats {
     return {a.allocated + b.allocated, a.recycled + b.recycled,
             a.high_water + b.high_water, a.live + b.live};
   }
+};
+
+/// Data-path slow-event snapshot (tests / benches): the element fast path
+/// increments none of these. In a steady-state producer/consumer pair the
+/// reload counts grow at most once per segment-capacity of elements and the
+/// mu counts stay bounded by the number of attachments.
+struct data_path_stats {
+  std::uint64_t head_reloads = 0;   ///< producer re-read the consumer's head
+  std::uint64_t tail_reloads = 0;   ///< consumer re-read the producer's tail
+  std::uint64_t mu_data = 0;        ///< wait_data took mu (older-pushers walk)
+  std::uint64_t mu_view = 0;        ///< push side took mu (new-view reduction)
+  std::uint64_t seg_cache_hits = 0; ///< segment allocs served lock-free
 };
 
 /// Per-(task, queue) bookkeeping. Owned by the queue control block; lives
@@ -94,6 +110,34 @@ struct qattach {
   /// acquire load, so observing zero implies the completed child's queue
   /// view hand-back is visible.
   std::atomic<long> live_pop_children{0};
+
+  /// Live push-privileged children (O(1) sync_children(kPrivPush), Section
+  /// 5.5). Written under queue_cb::mu, mirroring live_pop_children.
+  std::atomic<long> live_push_children{0};
+
+  // ---- consumer-local fast-path state (owning task only, no lock) --------
+
+  static constexpr std::uint64_t kNeverWalked = ~std::uint64_t{0};
+
+  /// Definitive-empty memo: once no producer older in program order is live,
+  /// none can appear except by this task spawning one itself (any *other*
+  /// spawner of a push child is itself push-privileged, hence was counted
+  /// while live). attach_spawn therefore resets the memo when this
+  /// attachment spawns a push-privileged child; between such spawns the
+  /// decision is monotonic and wait_data never walks again.
+  bool no_older_pushers = false;
+
+  /// queue_cb::pusher_completions_ at the last exact walk that found live
+  /// older pushers (kNeverWalked = never walked): the walk result can only
+  /// change when a pusher completes, so wait_data re-walks only after the
+  /// epoch moves (or after the memo reset described above).
+  std::uint64_t walk_epoch = kNeverWalked;
+
+  /// Ready-segment hint from the last successful wait_data. Lets the
+  /// Figure-2 `while (!q.empty()) q.pop();` idiom run wait_data once per
+  /// element: pop()/read_slice() reuse the segment found by empty() when it
+  /// is still the queue-view head with readable data.
+  segment* ready_seg = nullptr;
 
   // Views. `user` and `queue` are accessed lock-free by the owning task
   // between its start and completion; transfers at spawn/steal/completion
@@ -151,6 +195,11 @@ struct queue_cb {
   /// empty — popping from an empty hyperqueue is a program error.
   void pop(void* dst);
 
+  /// Batched pop: relocate up to `max` elements into the contiguous
+  /// uninitialized array at `dst`. Returns the number transferred; 0 only
+  /// when the queue is definitively empty. Blocks like pop.
+  std::uint64_t pop_n(void* dst, std::uint64_t max);
+
   /// Contiguous write window (Section 5.2). Returns the slot pointer and
   /// sets *count to the granted length (>=1; may be less than wanted).
   /// Elements must be move-constructed into the slots, then committed.
@@ -176,6 +225,15 @@ struct queue_cb {
     st.recycled = seg_recycled.load(std::memory_order_relaxed);
     st.high_water = seg_high_water.load(std::memory_order_relaxed);
     st.live = seg_live.load(std::memory_order_relaxed);
+    return st;
+  }
+  [[nodiscard]] data_path_stats data_stats() const {
+    data_path_stats st;
+    st.head_reloads = dp_.head_reloads.load(std::memory_order_relaxed);
+    st.tail_reloads = dp_.tail_reloads.load(std::memory_order_relaxed);
+    st.mu_data = dp_.mu_data.load(std::memory_order_relaxed);
+    st.mu_view = dp_.mu_view.load(std::memory_order_relaxed);
+    st.seg_cache_hits = dp_.seg_cache_hits.load(std::memory_order_relaxed);
     return st;
   }
   [[nodiscard]] qattach* owner_attachment() { return owner; }
@@ -209,16 +267,46 @@ struct queue_cb {
   segment* poll_chain(qattach* a);
 
   /// Block (helping) until data is readable (returns segment) or emptiness
-  /// is definitive (returns null).
+  /// is definitive (returns null). Caches the result in a->ready_seg.
   segment* wait_data(qattach* a);
+
+  /// Consumer entry point shared by empty/pop/read_slice: the lock-free
+  /// ready-segment fast path, falling back to wait_data. Force-inlined into
+  /// the per-element entry points — a call here costs as much as the hint
+  /// saves.
+  [[gnu::always_inline]] inline segment* consumer_ready(qattach* a) {
+    segment* s = a->ready_seg;
+    // The hint is only a short-circuit: it must still be the queue-view head
+    // (acquire on live_pop_children pairs with the completion hand-back) and
+    // still hold readable data. Anything else re-runs the full path.
+    if (s != nullptr && a->live_pop_children.load(std::memory_order_acquire) == 0 &&
+        a->queue.present && s == a->queue.head && s->readable()) [[likely]] {
+      return s;
+    }
+    return wait_data(a);
+  }
 
   std::atomic<long> refs{1};
   std::mutex mu;
   qattach* owner = nullptr;
   std::uint64_t next_nl_id = 1;
 
+  /// Live spawned push-privileged attachments: an upper bound on any
+  /// consumer's older_pushers. Incremented under mu at spawn; decremented
+  /// with release after the completion cascade, so a consumer that observes
+  /// zero with acquire also observes every segment link the cascades made.
+  std::atomic<long> live_pushers_{0};
+
+  /// Monotonic count of push-privileged completions. older_pushers(a) can
+  /// only drop to zero when this advances, so consumers re-walk only then.
+  std::atomic<std::uint64_t> pusher_completions_{0};
+
   spinlock free_mu;
   segment* free_list = nullptr;  // chained through segment::next
+  /// One-slot lock-free front of the segment pool: the steady-state ring
+  /// recycle (consumer drains -> recycles, producer allocates next wrap)
+  /// exchanges through this cell and never touches free_mu.
+  std::atomic<segment*> seg_cache_{nullptr};
   std::atomic<std::uint64_t> seg_live{0};
 
   // Pool statistics (relaxed: monitoring only, never load-bearing).
@@ -226,6 +314,9 @@ struct queue_cb {
   std::atomic<std::uint64_t> seg_recycled{0};
   std::atomic<std::uint64_t> seg_in_use{0};
   std::atomic<std::uint64_t> seg_high_water{0};
+
+  /// Slow-event counters (see data_path_stats); segments hold a pointer.
+  mutable data_path_counters dp_;
 };
 
 }  // namespace hq::detail

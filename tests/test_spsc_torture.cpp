@@ -12,6 +12,7 @@
 
 #include "conc/bounded_queue.hpp"
 #include "conc/spsc_ring.hpp"
+#include "core/hyperqueue.hpp"
 #include "core/segment.hpp"
 #include "util/rng.hpp"
 
@@ -154,15 +155,11 @@ TEST(SpscTorture, BoundedQueueMillionItems) {
 }
 
 TEST(SpscTorture, SegmentTransferMillionItems) {
-  // The hyperqueue's own SPSC fast path: one segment, producer
-  // move-constructs in, consumer pops out.
-  hq::detail::element_ops ops;
-  ops.size = sizeof(std::uint64_t);
-  ops.align = alignof(std::uint64_t);
-  ops.move_construct = [](void* dst, void* src) noexcept {
-    *static_cast<std::uint64_t*>(dst) = *static_cast<std::uint64_t*>(src);
-  };
-  ops.destroy = [](void*) noexcept {};
+  // The hyperqueue's own SPSC fast path with the padded layout and cached
+  // remote indices, on the trivial-type (memcpy) transfer branch.
+  const hq::detail::element_ops ops =
+      hq::detail::make_element_ops<std::uint64_t>();
+  ASSERT_TRUE(ops.trivial_copy);
   auto* seg = hq::detail::segment::create(1024, &ops);
 
   run_torture(
@@ -173,6 +170,47 @@ TEST(SpscTorture, SegmentTransferMillionItems) {
         seg->pop_into(&out);
         return out;
       });
+
+  seg->destroy_remaining();
+  hq::detail::segment::destroy(seg);
+}
+
+TEST(SpscTorture, SegmentTransferNonTrivialElements) {
+  // Same padded segment, non-trivial branch: every transfer runs the
+  // move_construct + destroy pair, and the balance must come out even
+  // (construction/destruction counts are cross-thread: relaxed atomics).
+  struct counting {
+    static std::atomic<long>& live() {
+      static std::atomic<long> n{0};
+      return n;
+    }
+    std::uint64_t v = 0;
+    explicit counting(std::uint64_t x) : v(x) { live().fetch_add(1, std::memory_order_relaxed); }
+    counting(counting&& o) noexcept : v(o.v) { live().fetch_add(1, std::memory_order_relaxed); }
+    counting(const counting&) = delete;
+    counting& operator=(const counting&) = delete;
+    ~counting() { live().fetch_sub(1, std::memory_order_relaxed); }
+  };
+  static_assert(!hq::detail::is_trivially_relocatable_v<counting>);
+  counting::live().store(0);
+
+  const hq::detail::element_ops ops = hq::detail::make_element_ops<counting>();
+  auto* seg = hq::detail::segment::create(256, &ops);
+  run_torture(
+      [&](std::uint64_t v) {
+        counting c(v);
+        retry_until([&] { return seg->try_push(&c); });
+      },
+      [&]() -> std::uint64_t {
+        retry_until([&] { return seg->readable(); });
+        alignas(counting) std::byte buf[sizeof(counting)];
+        seg->pop_into(buf);
+        counting* c = std::launder(reinterpret_cast<counting*>(buf));
+        const std::uint64_t out = c->v;
+        c->~counting();
+        return out;
+      });
+  EXPECT_EQ(counting::live().load(), 0) << "leak or double-destroy";
 
   seg->destroy_remaining();
   hq::detail::segment::destroy(seg);
