@@ -134,9 +134,15 @@ void BM_PopBulk(benchmark::State& state) {
 }
 BENCHMARK(BM_PopBulk);
 
-// Parallel producer tree: reduction (view merge) cost at varying leaf count.
+// Parallel producers: the paper's scale-free claim (Section 4). A fixed
+// 64k-element stream is split across 1/8/64 producer tasks pushing into one
+// queue; with constant total work, ns_per_op across the arms measures the
+// cost of multiplying producers directly (it should stay flat — the sharded
+// scan list splices and closes shards without any shared lock).
 void BM_ParallelProducers(benchmark::State& state) {
   const int leaves = static_cast<int>(state.range(0));
+  constexpr int kTotal = 64000;
+  const int per_leaf = kTotal / leaves;
   hq::scheduler sched(2);
   for (auto _ : state) {
     long sum = 0;
@@ -144,8 +150,8 @@ void BM_ParallelProducers(benchmark::State& state) {
       hq::hyperqueue<int> q(256);
       for (int l = 0; l < leaves; ++l) {
         hq::spawn(
-            [l](hq::pushdep<int> qq) {
-              for (int i = 0; i < 1000; ++i) qq.push(l * 1000 + i);
+            [l, per_leaf](hq::pushdep<int> qq) {
+              for (int i = 0; i < per_leaf; ++i) qq.push(l * per_leaf + i);
             },
             (hq::pushdep<int>)q);
       }
@@ -158,7 +164,7 @@ void BM_ParallelProducers(benchmark::State& state) {
     });
     benchmark::DoNotOptimize(sum);
   }
-  state.SetItemsProcessed(state.iterations() * leaves * 1000);
+  state.SetItemsProcessed(state.iterations() * kTotal);
 }
 BENCHMARK(BM_ParallelProducers)->Arg(1)->Arg(8)->Arg(64);
 
@@ -170,7 +176,48 @@ struct probe_result {
   hq::detail::obj_pool::stats_t attaches;
   bool zero_alloc_steady_state = false;
   bool sum_ok = false;
+  std::uint64_t mu_attach_push_burst = 0;  // mu acquisitions by push spawns
+  bool zero_mutex_push_path = false;
+  bool push_burst_sum_ok = false;
 };
+
+/// Zero-mutex-on-push gate: repeated wide producer-only bursts must never
+/// touch queue_cb::mu. mu_attach counts pop-FIFO registrations only, so its
+/// delta across a burst of push spawns pins the lock-free producer contract
+/// (push, write_slice, push-privileged spawn and completion); mu_view must
+/// stay 0 outright. The owner then drains and checks the serial-elision sum.
+void run_push_probe(bool quick, probe_result& pr) {
+  const int rounds = quick ? 4 : 16;
+  const int producers = 64;
+  const int per_leaf = 256;
+  hq::scheduler sched(2);
+  std::uint64_t mu_delta = 0;
+  bool sums_ok = true;
+  sched.run([&] {
+    for (int r = 0; r < rounds; ++r) {
+      hq::hyperqueue<int> q(256);
+      const hq::data_path_stats before = q.data_stats();
+      for (int l = 0; l < producers; ++l) {
+        hq::spawn(
+            [l, per_leaf](hq::pushdep<int> qq) {
+              for (int i = 0; i < per_leaf; ++i) qq.push(l * per_leaf + i);
+            },
+            (hq::pushdep<int>)q);
+      }
+      q.sync_push();
+      const hq::data_path_stats after = q.data_stats();
+      mu_delta += (after.mu_attach - before.mu_attach) +
+                  (after.mu_view - before.mu_view);
+      long sum = 0;
+      while (!q.empty()) sum += q.pop();
+      const long n = static_cast<long>(producers) * per_leaf;
+      sums_ok = sums_ok && sum == n * (n - 1) / 2;
+    }
+  });
+  pr.mu_attach_push_burst = mu_delta;
+  pr.zero_mutex_push_path = mu_delta == 0;
+  pr.push_burst_sum_ok = sums_ok;
+}
 
 probe_result run_probe(bool quick) {
   probe_result pr;
@@ -233,16 +280,48 @@ int main(int argc, char** argv) {
   hq::bench::collecting_reporter reporter;
   benchmark::RunSpecifiedBenchmarks(&reporter);
 
-  const probe_result pr = run_probe(opt.quick);
+  probe_result pr = run_probe(opt.quick);
+  run_push_probe(opt.quick, pr);
+
+  // Scale-free gate (machine-independent, so it can run on any CI host):
+  // BM_ParallelProducers pushes the same 64k-element stream at every leaf
+  // count, so 64 producers may cost at most kScaleFreeBound x the
+  // single-producer time. A producer-side serialization bug shows up here
+  // as a leaf-count-proportional blowup.
+  constexpr double kScaleFreeBound = 8.0;
+  double ns_1 = 0, ns_64 = 0;
+  for (const auto& row : reporter.rows) {
+    if (row.name == "BM_ParallelProducers/1") ns_1 = row.ns_per_op;
+    if (row.name == "BM_ParallelProducers/64") ns_64 = row.ns_per_op;
+  }
+  const double scale_ratio = ns_1 > 0 ? ns_64 / ns_1 : -1.0;
+  const bool scale_free = scale_ratio > 0 && scale_ratio <= kScaleFreeBound;
+  if (!scale_free) {
+    std::fprintf(stderr,
+                 "FAIL: BM_ParallelProducers/64 is %.2fx the single-producer "
+                 "time for the same total work (bound: %.1fx)\n",
+                 scale_ratio, kScaleFreeBound);
+  }
+
   if (!pr.zero_alloc_steady_state) {
     std::fprintf(stderr,
                  "FAIL: segment/attachment pools kept allocating in steady "
                  "state\n");
   }
   if (!pr.sum_ok) std::fprintf(stderr, "FAIL: probe checksum mismatch\n");
+  if (!pr.zero_mutex_push_path) {
+    std::fprintf(stderr,
+                 "FAIL: producer path acquired queue_cb::mu %llu times "
+                 "(contract: zero)\n",
+                 static_cast<unsigned long long>(pr.mu_attach_push_burst));
+  }
+  if (!pr.push_burst_sum_ok) {
+    std::fprintf(stderr, "FAIL: push-burst checksum mismatch\n");
+  }
 
-  const bool all_ok =
-      pr.zero_alloc_steady_state && pr.sum_ok && !reporter.rows.empty();
+  const bool all_ok = pr.zero_alloc_steady_state && pr.sum_ok &&
+                      pr.zero_mutex_push_path && pr.push_burst_sum_ok &&
+                      scale_free && !reporter.rows.empty();
   const bool wrote = hq::bench::write_micro_json(
       opt, "micro_queue", reporter.rows, all_ok, [&](FILE* f) {
         std::fprintf(f, "  \"probe\": {\n");
@@ -253,8 +332,16 @@ int main(int argc, char** argv) {
                      static_cast<unsigned long long>(pr.segs.recycled),
                      static_cast<unsigned long long>(pr.segs.high_water));
         hq::bench::emit_pool_json(f, "attach_pool", pr.attaches);
-        std::fprintf(f, "    \"zero_alloc_steady_state\": %s\n  },\n",
+        std::fprintf(f, "    \"zero_alloc_steady_state\": %s,\n",
                      pr.zero_alloc_steady_state ? "true" : "false");
+        std::fprintf(f, "    \"mu_attach_push_burst\": %llu,\n",
+                     static_cast<unsigned long long>(pr.mu_attach_push_burst));
+        std::fprintf(f, "    \"zero_mutex_push_path\": %s,\n",
+                     pr.zero_mutex_push_path ? "true" : "false");
+        std::fprintf(f, "    \"parallel_producers_64_vs_1\": %.3f,\n",
+                     scale_ratio);
+        std::fprintf(f, "    \"scale_free\": %s\n  },\n",
+                     scale_free ? "true" : "false");
       });
   return all_ok && wrote ? 0 : 1;
 }

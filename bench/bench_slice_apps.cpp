@@ -169,9 +169,11 @@ int main(int argc, char** argv) {
   hq::apps::dedup::config dd;
   dd.input_bytes = quick ? (512u << 10) : (4u << 20);
   dd.coarse_bytes = 32u << 10;
-  dd.fine_avg_log2 = 9;  // ~512 B chunks: queue-bound
-  dd.fine_min = 128;
-  dd.fine_max = 4u << 10;
+  dd.fine_avg_log2 = 6;  // ~64 B chunks: queue-bound
+  dd.fine_min = 32;
+  dd.fine_max = 512;
+  dd.dup_fraction = 0.9;  // few unique payloads: compression stays off the
+                          // critical path so queue overheads are visible
   dd.slice_batch = batch;
   auto dd_input = hq::util::gen_archive(dd.input_bytes, dd.dup_fraction, dd.seed);
   auto dd_serial = hq::apps::dedup::run_serial(dd, dd_input);

@@ -3,19 +3,24 @@
 
 Usage:
     bench_compare.py BASELINE.json CURRENT.json [--threshold 0.15]
-                     [--records name1,name2,...]
+                     [--records name1,name2,...] [--stable name1,name2,...]
 
 Both files are the records emitted by the bench harnesses (bench_json.hpp /
 bench_slice_apps): a top-level object with a "results" array of
-{"name", "ns_per_op", ...} entries. For every benchmark present in the
-baseline (or the --records subset), the relative ns_per_op change is
-computed; any regression above --threshold (default 15%) fails the run with
-exit code 1, as does a benchmark that vanished from the current record or a
-current record with "all_ok": false.
+{"name", "ns_per_op", ...} entries. For every benchmark present in either
+record (or the --records subset), the relative ns_per_op change is computed;
+a record present on only one side is a reported discrepancy, never a silent
+skip.
 
-Quick-mode numbers are noisy; the CI gate runs this advisory
-(continue-on-error) against the committed bench/baselines/ snapshot so the
-trajectory is visible without blocking merges on runner jitter.
+Failure rules:
+  * default (no --stable): any regression above --threshold fails, as does
+    any one-sided record (missing from baseline OR from current) and a
+    current record with "all_ok": false;
+  * --stable name1,...: the named records form the curated gated subset —
+    one-sided presence or an above-threshold regression among them fails
+    the run. Everything else is advisory: printed and summarized, but
+    runner jitter on the noisy records cannot fail a merge. This is the
+    mode the CI gate runs in.
 """
 
 import argparse
@@ -45,50 +50,79 @@ def main():
     ap.add_argument("--threshold", type=float, default=0.15,
                     help="max allowed relative ns_per_op regression (default 0.15)")
     ap.add_argument("--records", default="",
-                    help="comma-separated benchmark names to gate on "
-                         "(default: every baseline record)")
+                    help="comma-separated benchmark names to compare "
+                         "(default: union of both records)")
+    ap.add_argument("--stable", default="",
+                    help="curated stable-record subset: only these records "
+                         "gate the exit code; the rest are advisory")
     args = ap.parse_args()
 
     base_doc, base = load_results(args.baseline)
     cur_doc, cur = load_results(args.current)
 
-    names = [n for n in args.records.split(",") if n] or sorted(base)
+    # The union, not just the baseline: a record that appears on one side
+    # only is a discrepancy to report, not something to silently skip.
+    names = [n for n in args.records.split(",") if n] or sorted(set(base) | set(cur))
+    stable = {n for n in args.stable.split(",") if n}
+    for n in sorted(stable - set(names)):
+        names.append(n)
+
     failures = []
+    advisories = []
+
+    def problem(name, message):
+        if stable and name not in stable:
+            advisories.append(message)
+        else:
+            failures.append(message)
+
     width = max((len(n) for n in names), default=4)
     print(f"{'benchmark':<{width}}  {'base ns/op':>12}  {'cur ns/op':>12}  {'delta':>8}")
     for name in names:
+        gate_tag = " [gated]" if name in stable else ""
+        if name not in base and name not in cur:
+            problem(name, f"{name}: in neither {args.baseline} nor {args.current}")
+            print(f"{name:<{width}}  {'MISSING':>12}  {'MISSING':>12}{gate_tag}")
+            continue
         if name not in base:
-            failures.append(f"{name}: not in baseline {args.baseline}")
+            problem(name, f"{name}: missing from baseline {args.baseline} "
+                          f"(present in current — baseline needs a refresh)")
+            print(f"{name:<{width}}  {'MISSING':>12}  {cur[name]['ns_per_op']:>12.1f}{gate_tag}")
             continue
         if name not in cur:
-            failures.append(f"{name}: missing from current record")
-            print(f"{name:<{width}}  {base[name]['ns_per_op']:>12.1f}  {'MISSING':>12}")
+            problem(name, f"{name}: present in baseline but missing from "
+                          f"current record {args.current}")
+            print(f"{name:<{width}}  {base[name]['ns_per_op']:>12.1f}  {'MISSING':>12}{gate_tag}")
             continue
         b = base[name]["ns_per_op"]
         c = cur[name]["ns_per_op"]
         delta = (c - b) / b if b > 0 else 0.0
         flag = ""
         if delta > args.threshold:
-            failures.append(f"{name}: {delta:+.1%} ns_per_op regression "
-                            f"({b:.1f} -> {c:.1f})")
+            problem(name, f"{name}: {delta:+.1%} ns_per_op regression "
+                          f"({b:.1f} -> {c:.1f})")
             flag = "  << REGRESSION"
-        print(f"{name:<{width}}  {b:>12.1f}  {c:>12.1f}  {delta:>+7.1%}{flag}")
+        print(f"{name:<{width}}  {b:>12.1f}  {c:>12.1f}  {delta:>+7.1%}{flag}{gate_tag}")
 
-    extra = sorted(set(cur) - set(base))
-    if extra:
-        print(f"note: {len(extra)} benchmark(s) not in baseline: {', '.join(extra)}")
-
+    # all_ok=false means a correctness probe failed: always fatal, in every
+    # mode — it is not a perf-noise question.
     if cur_doc.get("all_ok") is False:
         failures.append("current record reports all_ok=false "
                         "(correctness probe failed)")
+
+    if advisories:
+        print(f"\nadvisory (non-gated records; not failing the run):")
+        for a in advisories:
+            print(f"  {a}")
 
     if failures:
         print(f"\nFAIL ({args.current} vs {args.baseline}):", file=sys.stderr)
         for f in failures:
             print(f"  {f}", file=sys.stderr)
         return 1
-    print(f"OK: no regression over {args.threshold:.0%} "
-          f"({len(names)} records checked)")
+    gated = f"{len(stable)} gated of " if stable else ""
+    print(f"OK: no gated regression over {args.threshold:.0%} "
+          f"({gated}{len(names)} records checked)")
     return 0
 
 

@@ -32,6 +32,12 @@ struct config {
   unsigned threads = 1;
   std::uint64_t seed = 7;
   std::size_t slice_batch = 16;  // records moved per queue slice (Section 5.2)
+  /// Coarse chunks per nested pipeline (hyperqueue variants): one local
+  /// queue and one refine/dedup task pair serve this many consecutive
+  /// coarse chunks, so the per-pipeline setup cost (queue construction,
+  /// attachments, spawns) amortizes over a stream of batch * fine-chunk
+  /// records instead of being paid per coarse chunk.
+  std::size_t coarse_batch = 8;
 };
 
 /// Shared state of one unique content chunk.

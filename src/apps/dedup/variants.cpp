@@ -1,6 +1,7 @@
 // The five dedup implementations. The output stream is byte-identical
 // across all of them (first-occurrence-in-output-order carries the
 // payload), so equality against the serial stream is the correctness test.
+#include <algorithm>
 #include <map>
 #include <memory>
 #include <thread>
@@ -262,25 +263,38 @@ result run_objects(const config& cfg, const std::vector<std::uint8_t>& input) {
 
 namespace {
 
+using coarse_list = std::vector<std::pair<std::size_t, std::size_t>>;
+
 // ---- element-at-a-time stages (baseline for the slice bench).
 
 void hq_refine_element(const config* cfg, const std::uint8_t* base,
-                       std::size_t off, std::size_t len, std::uint64_t seq,
-                       pushdep<chunk_rec> out) {
-  auto chunks = k_refine(*cfg, base, off, len, seq);
-  for (auto& c : chunks) out.push(std::move(c));
+                       const coarse_list* coarse, std::size_t lo,
+                       std::size_t hi, pushdep<chunk_rec> out) {
+  for (std::size_t i = lo; i < hi; ++i) {
+    auto chunks =
+        k_refine(*cfg, base, (*coarse)[i].first, (*coarse)[i].second, i);
+    for (auto& c : chunks) out.push(std::move(c));
+  }
 }
 
 void hq_dedup_compress_element(dedup_table* table, popdep<chunk_rec> in,
                                pushdep<chunk_rec> out) {
-  // Merged Deduplicate+Compress task per nested pipeline (the paper's task
-  // coarsening); streams records onto the shared write queue as they are
-  // ready instead of gathering a list.
+  // Unrestructured shape (like ferret's element dispatch): one
+  // Deduplicate+Compress task per refine chunk, each attaching to the
+  // shared write queue for its single record. Records still reach the
+  // write queue in pop order because hyperqueue pushes are ordered by
+  // spawn. The slice pipeline replaces this with one merged task whose
+  // write-queue attachment is reused across the whole batch (the paper's
+  // task coarsening) — per-refine-chunk attach churn is what it amortizes.
   while (!in.empty()) {
     chunk_rec c = in.pop();
-    k_dedup(table, &c);
-    if (c.owner) k_compress(&c);
-    out.push(std::move(c));
+    spawn(
+        [table](chunk_rec work, pushdep<chunk_rec> o) {
+          k_dedup(table, &work);
+          if (work.owner) k_compress(&work);
+          o.push(std::move(work));
+        },
+        std::move(c), out);
   }
 }
 
@@ -294,10 +308,14 @@ void hq_output_element(result* r, popdep<chunk_rec> q) {
 
 // ---- slice-based stages (Section 5.2, the default).
 
-void hq_refine(const config* cfg, const std::uint8_t* base, std::size_t off,
-               std::size_t len, std::uint64_t seq, pushdep<chunk_rec> out) {
-  auto chunks = k_refine(*cfg, base, off, len, seq);
-  push_slices(out, chunks.begin(), chunks.end(), cfg->slice_batch);
+void hq_refine(const config* cfg, const std::uint8_t* base,
+               const coarse_list* coarse, std::size_t lo, std::size_t hi,
+               pushdep<chunk_rec> out) {
+  for (std::size_t i = lo; i < hi; ++i) {
+    auto chunks =
+        k_refine(*cfg, base, (*coarse)[i].first, (*coarse)[i].second, i);
+    push_slices(out, chunks.begin(), chunks.end(), cfg->slice_batch);
+  }
 }
 
 void hq_dedup_compress(const config* cfg, dedup_table* table,
@@ -334,18 +352,27 @@ void hq_fragment_generic(const config* cfg,
                          const std::vector<std::uint8_t>* input,
                          dedup_table* table, pushdep<chunk_rec> write_queue,
                          RefineFn refine, DedupFn dedup) {
-  // Figure 10(c): one nested pipeline (local queue + two tasks) per coarse
-  // chunk, all pushing to the shared write queue in program order. The
-  // local queues are owned by this task; they are destroyed after the sync
-  // (the paper's sketch leaks them — see DESIGN.md).
+  // Figure 10(c): nested pipelines (local queue + two tasks) pushing to the
+  // shared write queue in program order. Each pipeline serves a batch of
+  // cfg->coarse_batch consecutive coarse chunks, so one queue construction
+  // and one refine/dedup attachment pair amortize over the whole batch's
+  // record stream (per-coarse-chunk pipelines drowned the Section 5.2 slice
+  // savings in setup churn). The write-queue order is unchanged: dedup
+  // tasks are spawned in batch order and each streams its batch's records
+  // in (coarse, fine) order. The local queues are owned by this task; they
+  // are destroyed after the sync (the paper's sketch leaks them — see
+  // DESIGN.md).
   auto coarse = k_fragment(*cfg, input->data(), input->size());
+  const std::size_t batch = cfg->coarse_batch > 0 ? cfg->coarse_batch : 1;
+  const std::size_t pipelines = (coarse.size() + batch - 1) / batch;
   std::vector<std::unique_ptr<hyperqueue<chunk_rec>>> locals;
-  locals.reserve(coarse.size());
-  for (std::size_t i = 0; i < coarse.size(); ++i) {
+  locals.reserve(pipelines);
+  for (std::size_t b = 0; b < pipelines; ++b) {
+    const std::size_t lo = b * batch;
+    const std::size_t hi = std::min(coarse.size(), lo + batch);
     locals.push_back(std::make_unique<hyperqueue<chunk_rec>>(64));
     hyperqueue<chunk_rec>& q = *locals.back();
-    refine(cfg, input, coarse[i].first, coarse[i].second,
-           static_cast<std::uint64_t>(i), q);
+    refine(cfg, input, &coarse, lo, hi, q);
     dedup(cfg, table, q, write_queue);
   }
   sync();
@@ -356,9 +383,10 @@ void hq_fragment(const config* cfg, const std::vector<std::uint8_t>* input,
                  dedup_table* table, pushdep<chunk_rec> write_queue) {
   hq_fragment_generic(
       cfg, input, table, write_queue,
-      [](const config* c, const std::vector<std::uint8_t>* in, std::size_t off,
-         std::size_t len, std::uint64_t seq, hyperqueue<chunk_rec>& q) {
-        spawn(hq_refine, c, in->data(), off, len, seq, (pushdep<chunk_rec>)q);
+      [](const config* c, const std::vector<std::uint8_t>* in,
+         const coarse_list* coarse, std::size_t lo, std::size_t hi,
+         hyperqueue<chunk_rec>& q) {
+        spawn(hq_refine, c, in->data(), coarse, lo, hi, (pushdep<chunk_rec>)q);
       },
       [](const config* c, dedup_table* t, hyperqueue<chunk_rec>& q,
          pushdep<chunk_rec> wq) {
@@ -371,9 +399,10 @@ void hq_fragment_element(const config* cfg,
                          dedup_table* table, pushdep<chunk_rec> write_queue) {
   hq_fragment_generic(
       cfg, input, table, write_queue,
-      [](const config* c, const std::vector<std::uint8_t>* in, std::size_t off,
-         std::size_t len, std::uint64_t seq, hyperqueue<chunk_rec>& q) {
-        spawn(hq_refine_element, c, in->data(), off, len, seq,
+      [](const config* c, const std::vector<std::uint8_t>* in,
+         const coarse_list* coarse, std::size_t lo, std::size_t hi,
+         hyperqueue<chunk_rec>& q) {
+        spawn(hq_refine_element, c, in->data(), coarse, lo, hi,
               (pushdep<chunk_rec>)q);
       },
       [](const config* c, dedup_table* t, hyperqueue<chunk_rec>& q,

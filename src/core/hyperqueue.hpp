@@ -1,9 +1,12 @@
 // hyperqueue<T> — the paper's programming abstraction (Section 2).
 //
 // A hyperqueue is a deterministic single-producer single-consumer queue
-// whose *implementation* lets many tasks push concurrently (reduction over
-// views) and one task pop concurrently with the pushes, while the consumer
-// observes exactly the serial-elision value order.
+// whose *implementation* lets many tasks push concurrently (private
+// producer shards, merged in the spawn-order scan list — core/view.hpp)
+// and one task pop concurrently with the pushes, while the consumer
+// observes exactly the serial-elision value order. Producers never take a
+// lock: push, write_slice, push-privileged spawn and completion are all
+// lock-free at any producer count.
 //
 // Usage mirrors Figure 2 of the paper:
 //
@@ -421,7 +424,8 @@ class hyperqueue {
 
   /// Data-path slow-event counters: remote index reloads (bounded by one
   /// per segment-capacity of elements in steady state) and mutex
-  /// acquisitions on the element path (zero on the fast path).
+  /// acquisitions (zero on the fast path; mu_view and mu_attach stay 0 on
+  /// the producer side — the zero-mutex-on-push contract).
   [[nodiscard]] data_path_stats data_stats() const { return cb_->data_stats(); }
 
   // Selective sync (Section 5.5): suspend the calling task until its

@@ -70,7 +70,7 @@ queue_cb::~queue_cb() {
     seg_live.fetch_sub(1, std::memory_order_relaxed);
   }
   assert(seg_live.load(std::memory_order_relaxed) == 0 &&
-         "segment leak: some segment was never linked into the queue chain");
+         "segment leak: some segment was never reachable from the scan list");
 }
 
 void queue_cb::release() noexcept {
@@ -121,6 +121,44 @@ void queue_cb::recycle_segment(segment* s) {
   free_list = s;
 }
 
+pshard* queue_cb::alloc_shard() {
+  // Shards share the scheduler's attach pool (its block size covers both
+  // record types), so steady-state spawn churn recycles shard records with
+  // the same zero-malloc guarantee as attachments.
+  if (scheduler* s = scheduler::current()) {
+    unsigned owner = kPoolExternal;
+    void* mem = s->alloc_attach_block(&owner);
+    auto* sh = ::new (mem) pshard();
+    sh->pool_sched = s;
+    sh->pool_owner = owner;
+    return sh;
+  }
+  return new pshard();
+}
+
+void queue_cb::free_shard(pshard* sh) {
+  scheduler* s = sh->pool_sched;
+  if (s == nullptr) {
+    delete sh;
+    return;
+  }
+  const unsigned owner = sh->pool_owner;
+  sh->~pshard();
+  s->free_attach_block(sh, owner);
+}
+
+void queue_cb::splice_after(pshard* sp, pshard* first, pshard* last) {
+  // Only the task owning `sp` (its current open shard) calls this, so the
+  // insertion point has exactly one writer: pre-link the new records, then
+  // publish them and close the shard with one release store. A consumer
+  // reads sp->next only after observing sp->closed with acquire, which also
+  // makes every segment pushed into sp before the close visible.
+  last->next.store(sp->next.load(std::memory_order_relaxed),
+                   std::memory_order_relaxed);
+  sp->next.store(first, std::memory_order_relaxed);
+  sp->closed.store(true, std::memory_order_release);
+}
+
 qattach* queue_cb::my_attachment([[maybe_unused]] std::uint8_t need) {
   task_frame* fr = current_frame();
   assert(fr != nullptr && "hyperqueue operations are only valid inside a task");
@@ -137,20 +175,22 @@ qattach* queue_cb::my_attachment([[maybe_unused]] std::uint8_t need) {
 void queue_cb::attach_owner(task_frame* owner_frame) {
   assert(owner_frame != nullptr &&
          "construct hyperqueues inside a task (e.g. the scheduler::run root)");
-  // Allocate outside mu; only the view/attachment structure needs the lock.
+  // Single-task context: nothing else can reach the queue yet, no lock.
   qattach* a = alloc_qattach();
   a->q = this;
   a->frame = owner_frame;
   a->priv = kPrivPush | kPrivPop;
+  // Invariant 1: a hyperqueue always holds at least one segment. The owner's
+  // shard starts with it, and the scan position starts there too.
+  pshard* sh = alloc_shard();
   segment* s0 = alloc_segment();
-  std::lock_guard<std::mutex> lk(mu);
+  sh->head.store(s0, std::memory_order_relaxed);
+  sh->tail = s0;
+  a->my_shard = sh;
+  a->has_pos = true;
+  a->pos_shard = sh;
+  a->pos_seg = s0;
   assert(owner == nullptr);
-  // Invariant 1: a hyperqueue always holds at least one segment. The initial
-  // split hands the head to the owner's queue view and the tail to its user
-  // view (Section 4.1).
-  auto [head_v, tail_v] = split(view::local(s0), next_nl_id++);
-  a->queue = head_v;
-  a->user = tail_v;
   owner = a;
   owner_frame->attachments.push_back(a);
 }
@@ -161,42 +201,44 @@ void queue_cb::detach_owner() {
   assert(current_frame() == a->frame &&
          "hyperqueue must be destroyed by the task that created it");
   // Wait for every task spawned on this queue (children complete bottom-up,
-  // so direct children suffice), helping the scheduler meanwhile.
+  // so direct children suffice), helping the scheduler meanwhile. The
+  // acquire pairs with the completion-time release decrement, making every
+  // child's shard closes and scan-position hand-backs visible.
   backoff bo;
-  for (;;) {
-    {
-      std::lock_guard<std::mutex> lk(mu);
-      if (a->live_children == 0) break;
+  while (a->live_children.load(std::memory_order_acquire) != 0) wait_step(bo);
+  // Single-threaded teardown. Every completed consumer handed the scan
+  // position back up the spawn tree, so it has returned to the owner;
+  // everything before it was already retired by the scan.
+  assert(a->has_pos && "scan position must return to the owner");
+  assert(a->live_pop_children.load(std::memory_order_relaxed) == 0);
+  pshard* sh = a->pos_shard;
+  segment* s = a->pos_seg;
+  while (sh != nullptr) {
+    if (s == nullptr) s = sh->head.load(std::memory_order_relaxed);
+    while (s != nullptr) {
+      segment* n = s->next.load(std::memory_order_relaxed);
+      s->destroy_remaining();
+      s->next.store(nullptr, std::memory_order_relaxed);
+      segment::destroy(s);
+      seg_live.fetch_sub(1, std::memory_order_relaxed);
+      s = n;
     }
-    wait_step(bo);
-  }
-  // Single-threaded teardown. After all tasks completed, the reduction
-  // cascade has linked every segment into the chain reachable from the
-  // queue view head (invariants 4/5); destroy leftover values and free.
-  assert(a->queue.present && a->queue.head_local());
-  segment* s = a->queue.head;
-  while (s != nullptr) {
-    segment* n = s->next.load(std::memory_order_relaxed);
-    s->destroy_remaining();
-    s->next.store(nullptr, std::memory_order_relaxed);
-    segment::destroy(s);
-    seg_live.fetch_sub(1, std::memory_order_relaxed);
-    s = n;
+    pshard* nx = sh->next.load(std::memory_order_relaxed);
+    free_shard(sh);
+    sh = nx;
   }
   a->frame->attachments.erase_value(a);
-  {
-    std::lock_guard<std::mutex> lk(mu);
-    owner = nullptr;
-  }
+  owner = nullptr;
   free_qattach(a);
 }
 
 qattach* queue_cb::attach_spawn(task_frame* child, std::uint8_t priv) {
   assert(priv != 0);
-  // Allocation, privilege lookup, refcounting and hook registration all
-  // happen outside mu: the spawning task's own attachment list is stable
-  // (only its thread appends), and the child is not yet visible to anyone.
-  // Only the shared view/sibling structure below needs the lock.
+  // Allocation, privilege lookup, refcounting, shard splicing and hook
+  // registration all happen lock-free on the spawning task's thread: the
+  // splice only touches the spawner's own current shard, and the child is
+  // not yet visible to anyone. Only the pop-FIFO registration below needs
+  // the lock.
   qattach* pa = my_attachment(priv);  // asserts the subset-privilege rule
   qattach* ca = alloc_qattach();
   ca->q = this;
@@ -204,56 +246,64 @@ qattach* queue_cb::attach_spawn(task_frame* child, std::uint8_t priv) {
   ca->parent = pa;
   ca->priv = priv;
 
-  {
+  pa->live_children.fetch_add(1, std::memory_order_relaxed);
+
+  if ((priv & kPrivPush) != 0) {
+    // Push-capable child: close the parent's current shard and splice in the
+    // child's shard followed by the parent's continuation — the lock-free
+    // equivalent of the paper's user-view transfer (Section 4.2). The merge
+    // order is fixed here, at the spawn point, which is what keeps the
+    // consumer's scan deterministic regardless of execution interleaving.
+    pshard* sp = pa->my_shard;
+    assert(sp != nullptr && "push spawns require a push-capable parent");
+    pshard* sc = alloc_shard();
+    pshard* sp2 = alloc_shard();
+    sc->next.store(sp2, std::memory_order_relaxed);
+    splice_after(sp, sc, sp2);
+    pa->my_shard = sp2;
+    ca->my_shard = sc;
+    pa->live_push_children.fetch_add(1, std::memory_order_relaxed);
+  } else if (pa->my_shard != nullptr) {
+    // Pop-only child of a push-capable parent: the parent's pushes so far
+    // are visible to the child, later ones are not (they follow the child
+    // in program order). Freeze that boundary by closing the parent's shard;
+    // only the continuation is spliced in.
+    pshard* sp = pa->my_shard;
+    pshard* sp2 = alloc_shard();
+    splice_after(sp, sp2, sp2);
+    pa->my_shard = sp2;
+    ca->end_shard = sp;
+  } else {
+    // Pop-only child of a pop-only parent: same visible range, no splice.
+    ca->end_shard = pa->end_shard;
+    assert(ca->end_shard != nullptr);
+  }
+
+  if ((priv & kPrivPop) != 0) {
     std::lock_guard<std::mutex> lk(mu);
-
-    // Live sibling chain: program order left-to-right, youngest at
-    // last_child.
-    ca->left = pa->last_child;
-    if (ca->left != nullptr) ca->left->right_sib = ca;
-    pa->last_child = ca;
-    pa->live_children += 1;
-
-    // View transfer at spawn (Section 4.2): push, pop and pushpop spawns all
-    // take the parent's user view (for pop it hides the pending values from
-    // subsequent push tasks).
-    ca->user = pa->user.take();
-
-    if ((priv & kPrivPop) != 0) {
-      // The queue view follows the consumer in pop FIFO order. Take it from
-      // the parent only when no older pop sibling is live: if one is, the
-      // view either sits with that sibling or is parked here in transit to
-      // it (a completed sibling hands it back to the parent, and the FIFO
-      // successor claims it lazily — see ensure_queue_view). Grabbing it for
-      // this younger child would strand the older sibling waiting for a view
-      // held by a task that cannot run before it: deadlock.
-      if (pa->live_pop_children.load(std::memory_order_relaxed) == 0) {
-        ca->queue = pa->queue.take();
-      }
-      // Scheduling rule 3: pop-privileged tasks of one parent run FIFO.
-      if (pa->last_pop_child != nullptr) {
-        task_frame::depend(child, pa->last_pop_child->frame);
-      }
-      pa->last_pop_child = ca;
-      pa->live_pop_children.fetch_add(1, std::memory_order_relaxed);
+    dp_.mu_attach.fetch_add(1, std::memory_order_relaxed);
+    // The scan position follows the consumer in pop FIFO order. Take it from
+    // the parent only when no older pop sibling is live: if one is, the
+    // position either sits with that sibling or is parked here in transit to
+    // it (a completed sibling hands it back to the parent, and the FIFO
+    // successor claims it lazily — see ensure_pos). Grabbing it for this
+    // younger child would strand the older sibling waiting for a position
+    // held by a task that cannot run before it: deadlock.
+    if (pa->live_pop_children.load(std::memory_order_relaxed) == 0 &&
+        pa->has_pos) {
+      ca->has_pos = true;
+      ca->pos_shard = pa->pos_shard;
+      ca->pos_seg = pa->pos_seg;
+      pa->has_pos = false;
     }
-
-    if ((priv & kPrivPush) != 0) {
-      // Live-producer accounting for the definitive-empty test; the
-      // increment walks to the owner like the paper's O(depth) early
-      // reduction. The queue-level count is the lock-free upper bound.
-      for (qattach* p = ca; p != nullptr; p = p->parent) p->subtree_pushers += 1;
-      pa->live_push_children.fetch_add(1, std::memory_order_relaxed);
-      live_pushers_.fetch_add(1, std::memory_order_relaxed);
-      // The new child is older in program order than every subsequent pop of
-      // the spawning task: its definitive-empty memo is stale. (Only the
-      // spawner can be affected — any other attachment with the memo set has
-      // no live older pusher, and this spawner is not older than it, or it
-      // would have been counted.) attach_spawn runs on the spawning task's
-      // own thread, so these consumer-local fields are safe to write here.
-      pa->no_older_pushers = false;
-      pa->walk_epoch = qattach::kNeverWalked;
+    // Scheduling rule 3: pop-privileged tasks of one parent run FIFO. The
+    // predecessor's frame is still valid here — its completion hook clears
+    // last_pop_child under this same mu before the frame is freed.
+    if (pa->last_pop_child != nullptr) {
+      task_frame::depend(child, pa->last_pop_child->frame);
     }
+    pa->last_pop_child = ca;
+    pa->live_pop_children.fetch_add(1, std::memory_order_relaxed);
   }
 
   child->attachments.push_back(ca);
@@ -266,155 +316,80 @@ qattach* queue_cb::attach_spawn(task_frame* child, std::uint8_t priv) {
 }
 
 void queue_cb::on_task_complete(qattach* a) {
-  std::unique_lock<std::mutex> lk(mu);
-
-  // "Return from spawn" (Section 4.2): the user view can no longer grow.
-  // Fold this task's views in program order — children ∘ user ∘ right (the
-  // implicit sync already completed all children, so the children view is
-  // final) — and cascade the result to the nearest live left sibling, or to
-  // the parent's children view.
-  assert(a->last_child == nullptr && a->live_children == 0 &&
-         "children must complete before their parent (implicit sync)");
-  reduce_into(a->user, a->right_view.take());
-  reduce_into(a->children, a->user.take());
-  if (a->left != nullptr) {
-    reduce_into(a->left->right_view, a->children.take());
-  } else {
-    assert(a->parent != nullptr);
-    reduce_into(a->parent->children, a->children.take());
-  }
-
-  // Pop privileges: return the (head-only) queue view to the parent.
-  if (!a->queue.empty()) {
-    assert(a->parent != nullptr);
-    assert(a->parent->queue.empty() && "two live queue views (invariant 2)");
-    a->parent->queue = a->queue.take();
-  }
-
-  if ((a->priv & kPrivPush) != 0) {
-    for (qattach* p = a; p != nullptr; p = p->parent) {
-      p->subtree_pushers -= 1;
-      assert(p->subtree_pushers >= 0);
-    }
-    // Bump the completion epoch, then drop the live-pusher upper bound. Both
-    // are release stores sequenced after the reductions above, so a consumer
-    // that observes either with acquire also observes the new segment links
-    // without taking mu (the lock-free definitive-empty gate in wait_data).
-    pusher_completions_.fetch_add(1, std::memory_order_release);
-    live_pushers_.fetch_sub(1, std::memory_order_release);
-  }
-
-  // Unlink from the live sibling chain.
-  if (a->left != nullptr) a->left->right_sib = a->right_sib;
-  if (a->right_sib != nullptr) a->right_sib->left = a->left;
   qattach* pa = a->parent;
   assert(pa != nullptr);
-  if (pa->last_child == a) pa->last_child = a->left;
-  if (pa->last_pop_child == a) pa->last_pop_child = nullptr;
-  pa->live_children -= 1;
-  if ((a->priv & kPrivPush) != 0)
-    pa->live_push_children.fetch_sub(1, std::memory_order_relaxed);
-  // Release: pairs with the acquire load on the parent's consumer fast path
-  // (ensure_queue_view); the queue-view hand-back above must be visible to a
-  // parent that observes the decremented count without taking mu.
-  if ((a->priv & kPrivPop) != 0)
+  assert(a->live_children.load(std::memory_order_relaxed) == 0 &&
+         "children must complete before their parent (implicit sync)");
+
+  if ((a->priv & kPrivPush) != 0) {
+    // "Return from spawn" (Section 4.2): this producer's span can no longer
+    // grow. One release store replaces the mutex-guarded reduction cascade —
+    // a finishing producer never blocks a live one. The scan-order successor
+    // was linked at spawn time, so the consumer advances right past.
+    a->my_shard->closed.store(true, std::memory_order_release);
+    pa->live_push_children.fetch_sub(1, std::memory_order_release);
+  }
+
+  if ((a->priv & kPrivPop) != 0) {
+    std::lock_guard<std::mutex> lk(mu);
+    dp_.mu_complete.fetch_add(1, std::memory_order_relaxed);
+    // Hand the scan position back to the parent; the FIFO-next consumer
+    // claims it lazily (ensure_pos).
+    if (a->has_pos) {
+      assert(!pa->has_pos && "two scan positions (invariant 2)");
+      pa->has_pos = true;
+      pa->pos_shard = a->pos_shard;
+      pa->pos_seg = a->pos_seg;
+      a->has_pos = false;
+    }
+    if (pa->last_pop_child == a) pa->last_pop_child = nullptr;
+    // Release: pairs with the acquire load on the parent's consumer fast
+    // path; the hand-back above must be visible to a parent that observes
+    // the decremented count without taking mu.
     pa->live_pop_children.fetch_sub(1, std::memory_order_release);
+  }
 
-  assert(a->user.empty() && a->right_view.empty() && a->children.empty() &&
-         a->queue.empty());
+  // Release: pairs with the acquire loads in sync_children/detach_owner.
+  pa->live_children.fetch_sub(1, std::memory_order_release);
   a->frame = nullptr;
-  lk.unlock();
-  // Recycle outside the lock: the attachment is unlinked, nobody can reach
-  // it anymore.
   free_qattach(a);
-}
-
-void queue_cb::merge_left_early(qattach* a, view tmp) {
-  // The view immediately preceding a's user view in program order (see the
-  // total order of Section 4.4): the youngest live child's right view, then
-  // a's own children view, then recursively the nearest live left sibling /
-  // ancestor children views, ending at the owner.
-  if (a->last_child != nullptr) {
-    reduce_into(a->last_child->right_view, std::move(tmp));
-    return;
-  }
-  if (!a->children.empty()) {
-    reduce_into(a->children, std::move(tmp));
-    return;
-  }
-  qattach* cur = a;
-  for (;;) {
-    if (cur->left != nullptr) {
-      reduce_into(cur->left->right_view, std::move(tmp));
-      return;
-    }
-    qattach* p = cur->parent;
-    if (p == nullptr) {
-      // Owner level: deposit into the children view even when empty.
-      reduce_into(cur->children, std::move(tmp));
-      return;
-    }
-    if (!p->children.empty()) {
-      reduce_into(p->children, std::move(tmp));
-      return;
-    }
-    cur = p;
-  }
-}
-
-long queue_cb::older_pushers(const qattach* a) const {
-  long total = a->subtree_pushers;
-  // a's own (synchronous) pushes do not count; its spawn-time increment is
-  // removed. The owner attachment was never spawned, hence never counted.
-  if ((a->priv & kPrivPush) != 0 && a->parent != nullptr) total -= 1;
-  for (const qattach* cur = a; cur != nullptr; cur = cur->parent) {
-    for (const qattach* sib = cur->left; sib != nullptr; sib = sib->left) {
-      total += sib->subtree_pushers;
-    }
-  }
-  assert(total >= 0);
-  return total;
 }
 
 // ---------------------------------------------------------------- producer
 
 void queue_cb::push(void* src) {
   qattach* a = my_attachment(kPrivPush);
-  if (!a->user.empty()) {
-    assert(a->user.tail_local() && "user views hold local tails while live");
-    segment* s = a->user.tail;
+  pshard* sh = a->my_shard;
+  if (segment* s = sh->tail) {
     if (s->try_push(src)) return;
-    // Segment full: chain a fresh one. We own s's tail (invariant 5), so the
-    // link needs no lock.
+    // Segment full: chain a fresh one. We own the shard's tail, so the link
+    // needs no lock.
     segment* ns = alloc_segment();
     bool ok = ns->try_push(src);
     assert(ok);
     (void)ok;
     s->next.store(ns, std::memory_order_release);
-    a->user.tail = ns;
+    sh->tail = ns;
     return;
   }
-  // Empty user view: create a segment and make its head discoverable at the
-  // immediately preceding view now (early reduction, Section 4.1), so a
-  // concurrent consumer can reach the data as soon as older tasks complete.
+  // First push into this shard: create the chain and publish its head. The
+  // release store makes the element visible to the consumer the moment it
+  // reaches this shard in scan order — no mutex, unlike the old early-
+  // reduction path.
   segment* ns = alloc_segment();
   bool ok = ns->try_push(src);
   assert(ok);
   (void)ok;
-  std::lock_guard<std::mutex> lk(mu);
-  dp_.mu_view.fetch_add(1, std::memory_order_relaxed);
-  auto [head_v, tail_v] = split(view::local(ns), next_nl_id++);
-  merge_left_early(a, head_v);
-  a->user = tail_v;
+  sh->tail = ns;
+  sh->head.store(ns, std::memory_order_release);
 }
 
 void* queue_cb::write_slice(std::uint64_t want, std::uint64_t* count) {
   qattach* a = my_attachment(kPrivPush);
   if (want < 1) want = 1;
   if (want > seg_capacity) want = seg_capacity;
-  if (!a->user.empty()) {
-    assert(a->user.tail_local() && "user views hold local tails while live");
-    segment* s = a->user.tail;
+  pshard* sh = a->my_shard;
+  if (segment* s = sh->tail) {
     // Grant the contiguous run even when shorter than `want`. Slices are
     // allowed to come back short (Section 5.2), and abandoning the segment
     // here would permanently strand its wrapped free space: a producer /
@@ -424,54 +399,51 @@ void* queue_cb::write_slice(std::uint64_t want, std::uint64_t* count) {
     // Segment truly full: chain a fresh one.
     segment* ns = alloc_segment();
     s->next.store(ns, std::memory_order_release);
-    a->user.tail = ns;
+    sh->tail = ns;
     return ns->acquire_write(want, count);
   }
   segment* ns = alloc_segment();
-  {
-    std::lock_guard<std::mutex> lk(mu);
-    dp_.mu_view.fetch_add(1, std::memory_order_relaxed);
-    auto [head_v, tail_v] = split(view::local(ns), next_nl_id++);
-    merge_left_early(a, head_v);
-    a->user = tail_v;
-  }
+  sh->tail = ns;
+  sh->head.store(ns, std::memory_order_release);
   return ns->acquire_write(want, count);
 }
 
 void queue_cb::commit_write(std::uint64_t produced) {
   qattach* a = my_attachment(kPrivPush);
-  assert(!a->user.empty() && a->user.tail_local());
-  a->user.tail->publish_write(produced);
+  assert(a->my_shard != nullptr && a->my_shard->tail != nullptr);
+  a->my_shard->tail->publish_write(produced);
 }
 
 // ---------------------------------------------------------------- consumer
 
-void queue_cb::ensure_queue_view(qattach* a) {
+void queue_cb::ensure_pos(qattach* a) {
   assert((a->priv & kPrivPop) != 0);
   // Lock-free fast path: no live pop children (acquire — see qattach) and
-  // the queue view already in hand. This is the Section 5.2 "as fast as
+  // the scan position already in hand. This is the Section 5.2 "as fast as
   // array accesses" precondition: a consumer streaming through ready data
   // never touches mu.
-  if (a->live_pop_children.load(std::memory_order_acquire) == 0 &&
-      a->queue.present) {
+  if (a->live_pop_children.load(std::memory_order_acquire) == 0 && a->has_pos) {
     return;
   }
   backoff bo;
   for (;;) {
     // Program order: our own pops resume only after our pop children are
     // done (they are earlier in the serial elision). While any is live the
-    // view cannot be ours, so do not touch mu; the acquire pairs with the
-    // completion-time release so the hand-back below is visible.
+    // position cannot be ours, so do not touch mu; the acquire pairs with
+    // the completion-time release so the hand-back below is visible.
     if (a->live_pop_children.load(std::memory_order_acquire) == 0) {
-      if (a->queue.present) return;
+      if (a->has_pos) return;
       std::lock_guard<std::mutex> lk(mu);
       dp_.mu_data.fetch_add(1, std::memory_order_relaxed);
-      if (a->queue.present) return;
-      // Claim the queue view from an ancestor: after the previous consumer
-      // completed, the view travels back up the spawn tree.
+      if (a->has_pos) return;
+      // Claim the scan position from an ancestor: after the previous
+      // consumer completed, it travels back up the spawn tree.
       for (qattach* anc = a->parent; anc != nullptr; anc = anc->parent) {
-        if (anc->queue.present) {
-          a->queue = anc->queue.take();
+        if (anc->has_pos) {
+          a->has_pos = true;
+          a->pos_shard = anc->pos_shard;
+          a->pos_seg = anc->pos_seg;
+          anc->has_pos = false;
           return;
         }
       }
@@ -480,61 +452,71 @@ void queue_cb::ensure_queue_view(qattach* a) {
   }
 }
 
-segment* queue_cb::poll_chain(qattach* a) {
-  assert(a->queue.present && a->queue.head_local());
-  for (;;) {
-    segment* s = a->queue.head;
-    if (s->readable()) return s;
-    segment* n = s->next.load(std::memory_order_acquire);
-    if (n == nullptr) return nullptr;
-    if (s->readable()) return s;  // values committed before the link
-    // Drained interior segment: with next set, no producer holds its tail
-    // (invariant 5), so the consumer may recycle it.
-    a->queue.head = n;
-    recycle_segment(s);
-  }
-}
-
 segment* queue_cb::wait_data(qattach* a) {
-  ensure_queue_view(a);
+  ensure_pos(a);
   backoff bo;
   for (;;) {
-    if (segment* s = poll_chain(a)) {
-      a->ready_seg = s;
-      return s;
+    pshard* sh = a->pos_shard;
+    segment* s = a->pos_seg;
+    // Drain the shard's chain: return the first readable segment, recycle
+    // drained interiors (with next set, no producer holds their tail).
+    for (;;) {
+      if (s == nullptr) {
+        s = sh->head.load(std::memory_order_acquire);
+        if (s != nullptr) a->pos_seg = s;
+      }
+      if (s != nullptr) {
+        if (s->readable()) {
+          a->ready_seg = s;
+          return s;
+        }
+        if (segment* n = s->next.load(std::memory_order_acquire)) {
+          if (s->readable()) {  // values committed before the link
+            a->ready_seg = s;
+            return s;
+          }
+          a->pos_seg = n;
+          recycle_segment(s);
+          s = n;
+          continue;
+        }
+      }
+      break;  // chain end (or headless shard) with nothing readable
     }
-    if (a->no_older_pushers) {
-      // The gate below only fires after completion cascades are visible, so
-      // the failed poll above was already conclusive.
+    if (sh == scan_end(a)) {
+      // End of this task's visible range. For a push-capable task this is
+      // its own open shard — only it can append. For a pop-only task the
+      // end shard was closed at its spawn. Either way the failed poll above
+      // was conclusive: no older-in-program-order producer can still push.
       a->ready_seg = nullptr;
       return nullptr;
     }
-    if (live_pushers_.load(std::memory_order_acquire) == 0) {
-      // The queue-wide upper bound hit zero: no older pusher is live and
-      // none can appear (any spawner of a push child is itself counted).
-      // The acquire pairs with the post-cascade release decrement, so the
-      // re-poll next iteration sees every link — no mu needed.
-      a->no_older_pushers = true;
-      continue;
-    }
-    const std::uint64_t epoch = pusher_completions_.load(std::memory_order_acquire);
-    if (epoch != a->walk_epoch) {
-      // Pushers are live, and one completed since we last looked: only now
-      // can the exact answer have changed, so only now take mu and walk.
-      // A consumer merely outrunning a live producer settles into lock-free
-      // polling after a single walk.
-      bool none;
-      {
-        std::lock_guard<std::mutex> lk(mu);
-        dp_.mu_data.fetch_add(1, std::memory_order_relaxed);
-        none = older_pushers(a) == 0;
-      }
-      if (none) {
-        a->no_older_pushers = true;
+    if (sh->closed.load(std::memory_order_acquire)) {
+      // The producer is done with this shard. Re-check once: pushes and
+      // links made before the close are visible now (acquire).
+      if (s == nullptr) {
+        s = sh->head.load(std::memory_order_relaxed);
+        if (s != nullptr) {
+          a->pos_seg = s;
+          continue;
+        }
+      } else if (s->readable() ||
+                 s->next.load(std::memory_order_relaxed) != nullptr) {
         continue;
       }
-      a->walk_epoch = epoch;
+      // Shard exhausted for good: retire its last segment and the shard
+      // record, and advance to the scan-order successor (linked before the
+      // close — the list tail is always the owner's open shard).
+      pshard* nx = sh->next.load(std::memory_order_relaxed);
+      assert(nx != nullptr && "closed non-terminal shard without successor");
+      if (s != nullptr) recycle_segment(s);
+      a->pos_shard = nx;
+      a->pos_seg = nullptr;
+      free_shard(sh);
+      continue;
     }
+    // Open shard of a live producer older in program order: block (helping)
+    // until it pushes or closes.
     wait_step(bo);
   }
 }
@@ -573,28 +555,27 @@ void* queue_cb::read_slice(std::uint64_t want, std::uint64_t* count) {
 
 void queue_cb::commit_read(std::uint64_t consumed) {
   qattach* a = my_attachment(kPrivPop);
-  assert(a->queue.present && a->queue.head_local());
-  a->queue.head->retire_read(consumed);
+  assert(a->has_pos && a->pos_seg != nullptr);
+  a->pos_seg->retire_read(consumed);
 }
 
 // ----------------------------------------------------------- selective sync
 
 void queue_cb::sync_children(std::uint8_t priv_filter) {
   qattach* a = my_attachment(0);
+  // Lock-free: the counters are decremented with release at completion, so
+  // an acquire load observing zero also observes the children's effects.
   backoff bo;
   for (;;) {
-    {
-      std::lock_guard<std::mutex> lk(mu);
-      long pending = 0;
-      if (priv_filter == 0) {
-        pending = a->live_children;
-      } else if ((priv_filter & kPrivPop) != 0) {
-        pending = a->live_pop_children.load(std::memory_order_relaxed);
-      } else {
-        pending = a->live_push_children.load(std::memory_order_relaxed);
-      }
-      if (pending == 0) return;
+    long pending;
+    if (priv_filter == 0) {
+      pending = a->live_children.load(std::memory_order_acquire);
+    } else if ((priv_filter & kPrivPop) != 0) {
+      pending = a->live_pop_children.load(std::memory_order_acquire);
+    } else {
+      pending = a->live_push_children.load(std::memory_order_acquire);
     }
+    if (pending == 0) return;
     wait_step(bo);
   }
 }

@@ -2,26 +2,27 @@
 // hyperqueue (paper Sections 3 and 4).
 //
 // Responsibilities:
-//  * per-task, per-queue view sets ("attachments"): user / children / right /
-//    queue views plus spawn-tree links (Section 4);
-//  * view transfer at spawn, early head reduction on new segments
-//    (Section 4.1), and the completion-time reduction cascade (Section 4.2);
+//  * per-task, per-queue attachments carrying the producer's private shard
+//    (`pshard`, core/view.hpp) and the consumer's scan position;
+//  * shard splicing at spawn — the lock-free realization of the paper's
+//    view transfer (Section 4.2): the merge order is fixed at the spawn
+//    point, so determinism is independent of execution interleaving;
 //  * the push / pop / empty operations with the paper's deterministic
 //    visibility contract: a consumer observes exactly the serial-elision
 //    value sequence, and empty() returns true only when no task earlier in
-//    program order can still produce (realized with live-producer subtree
-//    counters — the attachment-granularity equivalent of the per-segment
-//    producing flag);
+//    program order can still produce (structural now: the scan stops at the
+//    attachment's end-of-visible-range shard, and a shard can only be
+//    passed once its producer closed it);
 //  * scheduling rules 1–4 (Section 2.3): pop-privileged tasks are serialized
 //    FIFO per parent via task dependences; push tasks are never delayed.
 //
-// Locking: `mu` guards the attachment/view structure (spawn, completion,
-// early head reduction). Element transfers on segments are lock-free SPSC
-// fast paths, and the definitive-empty check is gated lock-free: a starving
-// consumer takes `mu` for the exact older-pushers walk at most once per
-// push-privileged completion event (`pusher_completions_` epoch), and not at
-// all once the queue-wide live-pusher count (`live_pushers_`, an upper bound
-// on any consumer's older_pushers) has reached zero.
+// Locking: the producer path takes NO lock, ever — pushes run on private
+// shards, and spawn-time splices only touch the spawning task's own current
+// shard (see pshard). `mu` survives only on the pop side, where it guards
+// the pop-FIFO registration (attach, counted by mu_attach), the scan-
+// position hand-back at completion (counted by mu_complete), and the lazy
+// ancestor claim of the scan position (counted by mu_data). Element
+// transfers on segments are lock-free SPSC fast paths.
 #pragma once
 
 #include <atomic>
@@ -60,21 +61,24 @@ struct seg_pool_stats {
 };
 
 /// Data-path slow-event snapshot (tests / benches): the element fast path
-/// increments none of these. In a steady-state producer/consumer pair the
-/// reload counts grow at most once per segment-capacity of elements and the
-/// mu counts stay bounded by the number of attachments.
+/// increments none of these. The mu_* fields pin the locking contract:
+/// mu_view and (after warm-up) mu_attach stay 0 because the producer side —
+/// push, write_slice, push-privileged spawn and completion — never takes a
+/// mutex; mu_attach/mu_complete count the pop-side registrations that still
+/// do.
 struct data_path_stats {
   std::uint64_t head_reloads = 0;   ///< producer re-read the consumer's head
   std::uint64_t tail_reloads = 0;   ///< consumer re-read the producer's tail
-  std::uint64_t mu_data = 0;        ///< wait_data took mu (older-pushers walk)
-  std::uint64_t mu_view = 0;        ///< push side took mu (new-view reduction)
+  std::uint64_t mu_data = 0;        ///< consumer took mu (scan-position claim)
+  std::uint64_t mu_view = 0;        ///< producer took mu (always 0; pinned)
   std::uint64_t seg_cache_hits = 0; ///< segment allocs served lock-free
+  std::uint64_t mu_attach = 0;      ///< attach_spawn took mu (pop FIFO only)
+  std::uint64_t mu_complete = 0;    ///< completion took mu (pop hand-back only)
 };
 
 /// Per-(task, queue) bookkeeping. Owned by the queue control block; lives
 /// from the task's spawn until its completion (the owner attachment lives
-/// until queue destruction). All fields are guarded by queue_cb::mu except
-/// the view fast paths noted below.
+/// until queue destruction).
 struct qattach {
   queue_cb* q = nullptr;
   task_frame* frame = nullptr;  // null once completed
@@ -87,66 +91,53 @@ struct qattach {
   scheduler* pool_sched = nullptr;
   unsigned pool_owner = ~0u;
 
-  // Live-sibling chain under `parent`, youngest at parent->last_child.
-  qattach* left = nullptr;
-  qattach* right_sib = nullptr;
-  qattach* last_child = nullptr;
+  // ---- producer side (owning task only, no lock) -------------------------
+
+  /// The task's current open shard (push-privileged tasks only). Spawns
+  /// close it and continue on a fresh one; completion closes the last.
+  pshard* my_shard = nullptr;
+
+  // ---- consumer side -----------------------------------------------------
+
+  /// Pop-only tasks: last shard of the visible range (inclusive) — the
+  /// spawning parent's shard, closed at this task's spawn. Push-capable
+  /// consumers use their own my_shard as the (dynamic) end instead: they may
+  /// consume everything up to and including their own pushes. Immutable
+  /// after spawn; the shard record outlives this attachment (nothing may
+  /// scan past it before this task completes — pop FIFO).
+  pshard* end_shard = nullptr;
 
   /// Pop-privileged FIFO per parent (scheduling rule 3): the most recent
-  /// live pop-privileged child.
+  /// live pop-privileged child. Guarded by queue_cb::mu.
   qattach* last_pop_child = nullptr;
 
-  /// Live push-privileged spawned tasks in this attachment's subtree
-  /// (including this task itself if push-privileged and spawned). Zero is
-  /// absorbing: children complete before parents.
-  long subtree_pushers = 0;
+  /// Live child attachments (selective sync, Section 5.5; lock-free).
+  std::atomic<long> live_children{0};
 
-  /// Live child attachments (for selective sync, Section 5.5).
-  long live_children = 0;
-
-  /// Live pop-privileged children. Written under queue_cb::mu; additionally
-  /// read lock-free by the owning task on the consumer fast path (see
-  /// ensure_queue_view): the release store in on_task_complete pairs with an
-  /// acquire load, so observing zero implies the completed child's queue
-  /// view hand-back is visible.
+  /// Live pop-privileged children. Read lock-free by the owning task on the
+  /// consumer fast path: the release decrement in on_task_complete pairs
+  /// with an acquire load, so observing zero implies the completed child's
+  /// scan-position hand-back is visible.
   std::atomic<long> live_pop_children{0};
 
-  /// Live push-privileged children (O(1) sync_children(kPrivPush), Section
-  /// 5.5). Written under queue_cb::mu, mirroring live_pop_children.
+  /// Live push-privileged children (O(1) sync_children(kPrivPush)).
   std::atomic<long> live_push_children{0};
 
-  // ---- consumer-local fast-path state (owning task only, no lock) --------
+  // ---- scan position (held by at most one attachment per queue) ----------
 
-  static constexpr std::uint64_t kNeverWalked = ~std::uint64_t{0};
-
-  /// Definitive-empty memo: once no producer older in program order is live,
-  /// none can appear except by this task spawning one itself (any *other*
-  /// spawner of a push child is itself push-privileged, hence was counted
-  /// while live). attach_spawn therefore resets the memo when this
-  /// attachment spawns a push-privileged child; between such spawns the
-  /// decision is monotonic and wait_data never walks again.
-  bool no_older_pushers = false;
-
-  /// queue_cb::pusher_completions_ at the last exact walk that found live
-  /// older pushers (kNeverWalked = never walked): the walk result can only
-  /// change when a pusher completes, so wait_data re-walks only after the
-  /// epoch moves (or after the memo reset described above).
-  std::uint64_t walk_epoch = kNeverWalked;
+  /// True while this attachment holds the queue's single scan position —
+  /// the successor of the paper's queue view. Transfers at pop spawn and
+  /// completion run under queue_cb::mu; the owning task reads it lock-free
+  /// once an acquire load of live_pop_children returned zero.
+  bool has_pos = false;
+  pshard* pos_shard = nullptr;  ///< shard the consumer is draining
+  segment* pos_seg = nullptr;   ///< segment within it (null: head not read)
 
   /// Ready-segment hint from the last successful wait_data. Lets the
   /// Figure-2 `while (!q.empty()) q.pop();` idiom run wait_data once per
   /// element: pop()/read_slice() reuse the segment found by empty() when it
-  /// is still the queue-view head with readable data.
+  /// is still the scan-position segment with readable data.
   segment* ready_seg = nullptr;
-
-  // Views. `user` and `queue` are accessed lock-free by the owning task
-  // between its start and completion; transfers at spawn/steal/completion
-  // points happen under queue_cb::mu. `children` and `right_view` are only
-  // ever touched under queue_cb::mu (they are written by other tasks).
-  view user;
-  view children;
-  view right_view;
-  view queue;
 };
 
 /// Control block shared by a hyperqueue<T> and all wrappers referencing it.
@@ -163,22 +154,26 @@ struct queue_cb {
   // interprocedural analysis at wrapper destruction sites.
   void release() noexcept;
 
-  /// Create the owner attachment on the constructing task's frame and build
-  /// the initial segment + (queue, user) view pair.
+  /// Create the owner attachment on the constructing task's frame: the
+  /// owner's shard with the initial segment, holding the scan position.
   void attach_owner(task_frame* owner_frame);
 
   /// Tear down from the owner task: waits (helping) until all spawned tasks
-  /// on this queue completed, then destroys remaining elements and segments.
+  /// on this queue completed, then destroys remaining elements, segments and
+  /// shards.
   void detach_owner();
 
   // ---- spawn / completion protocol ---------------------------------------
 
   /// Called during spawn-argument resolution on the spawning task's thread:
-  /// creates the child attachment, transfers views, registers scheduling
-  /// dependences (pop FIFO), and installs the completion hook.
+  /// creates the child attachment, splices the child's shard (and the
+  /// parent's continuation shard) into the scan list, and — for pop
+  /// privileges only — registers the FIFO dependence under mu.
   qattach* attach_spawn(task_frame* child, std::uint8_t priv);
 
-  /// Completion-time protocol (runs as a frame completion hook).
+  /// Completion-time protocol (runs as a frame completion hook). Push side:
+  /// close the shard, lock-free. Pop side: hand the scan position back to
+  /// the parent under mu.
   void on_task_complete(qattach* a);
 
   // ---- producer / consumer operations (element_ops-typed payloads) -------
@@ -234,6 +229,8 @@ struct queue_cb {
     st.mu_data = dp_.mu_data.load(std::memory_order_relaxed);
     st.mu_view = dp_.mu_view.load(std::memory_order_relaxed);
     st.seg_cache_hits = dp_.seg_cache_hits.load(std::memory_order_relaxed);
+    st.mu_attach = dp_.mu_attach.load(std::memory_order_relaxed);
+    st.mu_complete = dp_.mu_complete.load(std::memory_order_relaxed);
     return st;
   }
   [[nodiscard]] qattach* owner_attachment() { return owner; }
@@ -248,23 +245,23 @@ struct queue_cb {
 
   segment* alloc_segment();
   void recycle_segment(segment* s);
+  pshard* alloc_shard();
+  void free_shard(pshard* sh);
 
-  /// Early head reduction (Section 4.1): merge the head-only view `tmp`
-  /// with the view immediately preceding `a`'s user view in program order.
-  /// Caller holds mu.
-  void merge_left_early(qattach* a, view tmp);
+  /// Splice `count` (1 or 2) pre-linked shards after the spawner's current
+  /// shard `sp` and close it. first..last must already be chained via their
+  /// next pointers; the caller is the task owning sp.
+  static void splice_after(pshard* sp, pshard* first, pshard* last);
 
-  /// Live push-privileged tasks earlier in program order than consumer `a`.
-  /// Caller holds mu.
-  long older_pushers(const qattach* a) const;
+  /// The last shard of `a`'s visible range (inclusive): a push-capable
+  /// task's own current shard, a pop-only task's spawn-frozen end.
+  static pshard* scan_end(const qattach* a) {
+    return (a->priv & kPrivPush) != 0 ? a->my_shard : a->end_shard;
+  }
 
-  /// Make sure `a` holds the queue view, claiming it from ancestors (it is
-  /// in flight back to an ancestor after an older consumer completed).
-  void ensure_queue_view(qattach* a);
-
-  /// Advance the queue view over drained segments; returns the head segment
-  /// if it has readable data, null otherwise.
-  segment* poll_chain(qattach* a);
+  /// Make sure `a` holds the scan position, claiming it from ancestors (it
+  /// is in flight back to an ancestor after an older consumer completed).
+  void ensure_pos(qattach* a);
 
   /// Block (helping) until data is readable (returns segment) or emptiness
   /// is definitive (returns null). Caches the result in a->ready_seg.
@@ -276,30 +273,22 @@ struct queue_cb {
   /// saves.
   [[gnu::always_inline]] inline segment* consumer_ready(qattach* a) {
     segment* s = a->ready_seg;
-    // The hint is only a short-circuit: it must still be the queue-view head
-    // (acquire on live_pop_children pairs with the completion hand-back) and
-    // still hold readable data. Anything else re-runs the full path.
+    // The hint is only a short-circuit: it must still be the scan-position
+    // segment (acquire on live_pop_children pairs with the completion
+    // hand-back) and still hold readable data. Anything else re-runs the
+    // full path.
     if (s != nullptr && a->live_pop_children.load(std::memory_order_acquire) == 0 &&
-        a->queue.present && s == a->queue.head && s->readable()) [[likely]] {
+        a->has_pos && s == a->pos_seg && s->readable()) [[likely]] {
       return s;
     }
     return wait_data(a);
   }
 
   std::atomic<long> refs{1};
+  /// Pop-side structure lock: pop-FIFO registration, scan-position
+  /// transfers, and nothing else. The producer path never takes it.
   std::mutex mu;
   qattach* owner = nullptr;
-  std::uint64_t next_nl_id = 1;
-
-  /// Live spawned push-privileged attachments: an upper bound on any
-  /// consumer's older_pushers. Incremented under mu at spawn; decremented
-  /// with release after the completion cascade, so a consumer that observes
-  /// zero with acquire also observes every segment link the cascades made.
-  std::atomic<long> live_pushers_{0};
-
-  /// Monotonic count of push-privileged completions. older_pushers(a) can
-  /// only drop to zero when this advances, so consumers re-walk only then.
-  std::atomic<std::uint64_t> pusher_completions_{0};
 
   spinlock free_mu;
   segment* free_list = nullptr;  // chained through segment::next

@@ -114,9 +114,17 @@ struct element_ops {
 struct data_path_counters {
   std::atomic<std::uint64_t> head_reloads{0};  ///< producer re-read remote head
   std::atomic<std::uint64_t> tail_reloads{0};  ///< consumer re-read remote tail
-  std::atomic<std::uint64_t> mu_data{0};       ///< wait_data took queue_cb::mu
-  std::atomic<std::uint64_t> mu_view{0};       ///< push side took mu (new view)
+  std::atomic<std::uint64_t> mu_data{0};       ///< consumer took queue_cb::mu
+  std::atomic<std::uint64_t> mu_view{0};       ///< push side took mu (always 0
+                                               ///< since the sharded rewrite;
+                                               ///< kept so probes can pin it)
   std::atomic<std::uint64_t> seg_cache_hits{0};///< alloc served lock-free
+  std::atomic<std::uint64_t> mu_attach{0};     ///< attach_spawn took mu (pop
+                                               ///< FIFO registration only —
+                                               ///< push spawns never do)
+  std::atomic<std::uint64_t> mu_complete{0};   ///< completion took mu (pop
+                                               ///< hand-back only — push
+                                               ///< completions never do)
 };
 
 class segment {

@@ -1,4 +1,11 @@
-// Views and the split/reduce algebra (paper Section 3.3).
+// Producer shards and the view split/reduce algebra (paper Section 3.3).
+//
+// The runtime's data path orders producers with the explicit shard list
+// (`pshard`, below): the spawn-time splice fixes the merge order exactly
+// where the paper's split() would create the non-local pairing, so the
+// consumer's scan realizes the same serial-elision order the view algebra
+// proves deterministic. The view type and split/reduce remain as the
+// paper-faithful reference semantics (exercised directly by test_views).
 //
 // A view is a (head, tail) pair over a linked chain of queue segments. Each
 // side is either *local* (a real segment pointer) or *non-local* (the
@@ -14,12 +21,46 @@
 //   reduce(v, ε) = (v, ε);  reduce(ε, v) = (v, ε)
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <utility>
 
 #include "core/segment.hpp"
 
+namespace hq {
+class scheduler;
+}
+
 namespace hq::detail {
+
+/// Producer shard: one contiguous program-order span of pushes, owning a
+/// private segment chain. Shards form a queue-wide singly-linked list in
+/// serial-elision order; the single consumer scans it front to back.
+///
+/// The list is built lock-free at spawn points: new shards are only ever
+/// spliced in *after the spawning task's own current shard*, so every
+/// insertion point has exactly one possible writer and publication needs no
+/// CAS — the owner pre-links the new records, redirects `next`, and then
+/// closes the shard with one release store. The consumer reads `next` only
+/// after observing `closed` with acquire, which also makes every segment
+/// pushed before the close visible. A closed shard is immutable; since the
+/// global list tail is always the queue owner's current (open) shard, a
+/// closed shard always has a non-null successor.
+///
+/// `head` is the owner's one-time publication of the chain (release store on
+/// the first push); `tail` is owner-local and never read by the consumer.
+struct pshard {
+  std::atomic<segment*> head{nullptr};  ///< first segment; set once, release
+  segment* tail = nullptr;              ///< chain tail (producer-local)
+  std::atomic<pshard*> next{nullptr};   ///< scan-order successor (see above)
+  std::atomic<bool> closed{false};      ///< no pushes or splices can follow
+
+  /// Recycling bookkeeping, mirroring qattach: shards come from the
+  /// scheduler's per-worker attach pool and are freed by whichever worker
+  /// retires them (the consumer, usually).
+  scheduler* pool_sched = nullptr;
+  unsigned pool_owner = ~0u;
+};
 
 struct view {
   segment* head = nullptr;   // local head pointer, when head_nl == 0

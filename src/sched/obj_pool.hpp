@@ -1,9 +1,11 @@
 // Per-worker slab + magazine allocator for the runtime's fixed-size
-// hot-path records (task frames, hyperqueue attachments).
+// hot-path records (task frames, hyperqueue attachments, producer shards).
 //
-// Every spawn allocates one task_frame (and one qattach per queue argument),
-// and every completion frees them — on whichever worker happened to run
-// finish(). A global new/delete pair on that path serializes all workers on
+// Every spawn allocates one task_frame (plus, per queue argument, one
+// qattach and up to two pshard records), and every completion frees them —
+// on whichever worker happened to run finish(). Shards are additionally
+// freed by the consumer as its scan passes them, which is exactly the
+// cross-worker return path below. A global new/delete pair on that path serializes all workers on
 // the allocator; this pool removes it:
 //
 //  * each worker owns a magazine: a singly-linked freelist touched only by

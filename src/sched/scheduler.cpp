@@ -1,5 +1,6 @@
 #include "sched/scheduler.hpp"
 
+#include <algorithm>
 #include <cassert>
 #include <chrono>
 #include <cstdlib>
@@ -48,7 +49,12 @@ scheduler::scheduler(unsigned num_workers) {
   }
   const std::size_t cap = pool_cap_from_env();
   frame_pool_.init(num_workers, sizeof(task_frame), cap);
-  attach_pool_.init(num_workers, sizeof(detail::qattach), cap);
+  // The attach pool serves both per-(task, queue) attachments and producer
+  // shard records (core/view.hpp): one block size covering the larger of
+  // the two keeps every spawn-path allocation on the per-worker magazines.
+  attach_pool_.init(num_workers,
+                    std::max(sizeof(detail::qattach), sizeof(detail::pshard)),
+                    cap);
   workers_.reserve(num_workers);
   std::mt19937_64 seed_rng(0x9e3779b97f4a7c15ull);
   for (unsigned i = 0; i < num_workers; ++i) {
@@ -188,10 +194,11 @@ bool is_spawn_ancestor(const task_frame* anc, const task_frame* t) {
 /// Executing it nested on this worker is unsafe when a frame `f` suspended
 /// on the worker's execution stack holds a live *spawned* push attachment on
 /// a queue `cand` pops: cand's blocking pop can wait for f's producer
-/// subtree to complete (older_pushers counts it), while f resumes only after
-/// cand returns — a cycle that spins forever. Spawn-tree ancestors of cand
-/// are exempt: a descendant consumer never waits on an ancestor's own pushes
-/// (older_pushers sums left siblings only), which also keeps the paper's
+/// subtree to complete (the scan blocks at f's still-open shard), while f
+/// resumes only after cand returns — a cycle that spins forever. Spawn-tree
+/// ancestors of cand are exempt: a descendant consumer never waits on an
+/// ancestor's own later pushes (its visible range was frozen at its spawn,
+/// before the ancestor's continuation shard), which also keeps the paper's
 /// producer-spawns-consumer idiom executable on one worker. The owner
 /// attachment (parent == nullptr) is exempt for the same reason.
 /// All frames inspected are either suspended on this worker's own stack or

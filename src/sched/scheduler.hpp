@@ -129,8 +129,9 @@ class scheduler {
     frame_pool_.free(t, owner, my_worker_index());
   }
 
-  /// Pooled fixed-size blocks for hyperqueue attachments (core/queue_cb.*).
-  /// The caller placement-constructs a qattach in the block and stashes
+  /// Pooled fixed-size blocks for hyperqueue attachments and producer shard
+  /// records (core/queue_cb.*, core/view.hpp) — the block size covers both.
+  /// The caller placement-constructs the record in the block and stashes
   /// *owner for the matching free.
   void* alloc_attach_block(unsigned* owner) {
     *owner = my_worker_index();

@@ -12,8 +12,10 @@
 //
 // Arguments are captured by value. Dependency wrappers (pushdep/popdep/
 // pushpopdep, indep/outdep/inoutdep) expose hq_dep_resolve(frame*), which
-// spawn() calls at spawn time to register scheduling dependences and
-// transfer hyperqueue views in program order.
+// spawn() calls at spawn time to register scheduling dependences and splice
+// the child's producer shard into the queue's scan order (core/queue_cb.*).
+// Push-privileged spawns resolve entirely lock-free on the spawning
+// worker; only pop privileges take the queue's pop-FIFO lock.
 #pragma once
 
 #include <cassert>

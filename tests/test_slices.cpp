@@ -84,6 +84,35 @@ TEST(Slices, LongStreamThroughOneSegmentAllocatesNothing) {
   });
 }
 
+TEST(Slices, CacheHitRecyclesKeepPoolStatsExact) {
+  // An in-step producer/consumer whose burst spans two segments recycles
+  // through the one-slot lock-free seg cache: each round chains exactly one
+  // extra segment and drains it again, so the cache slot is always empty
+  // when the recycle arrives and every wrap's alloc is served from it. The
+  // cache fast path must not bypass the pool bookkeeping: high_water still
+  // reflects the true peak (2, not 1), fresh allocations stop once the ring
+  // is primed, and every recycle is visible as a cache hit.
+  hq::scheduler sched(1);
+  sched.run([&] {
+    hq::hyperqueue<int> q(8);
+    int v = 0;
+    for (int round = 0; round < 200; ++round) {
+      for (int i = 0; i < 16; ++i) q.push(v + i);
+      for (int i = 0; i < 16; ++i) ASSERT_EQ(q.pop(), v + i);
+      v += 16;
+    }
+    const auto ps = q.pool_stats();
+    const auto ds = q.data_stats();
+    EXPECT_GT(ps.recycled, 100u) << "the ring must actually wrap";
+    EXPECT_EQ(ds.seg_cache_hits, ps.recycled)
+        << "every in-step recycle flows through the lock-free cache slot";
+    EXPECT_EQ(ps.allocated, 2u)
+        << "one initial segment plus one priming alloc at the first wrap";
+    EXPECT_EQ(ps.allocated, ps.high_water)
+        << "cache-served allocs must still raise/track the high-water mark";
+  });
+}
+
 // ---------------------------------------------------------- partial commit
 
 struct counted {
