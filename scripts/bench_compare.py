@@ -4,6 +4,7 @@
 Usage:
     bench_compare.py BASELINE.json CURRENT.json [--threshold 0.15]
                      [--records name1,name2,...] [--stable name1,name2,...]
+                     [--fields dotted.path1,dotted.path2,...]
 
 Both files are the records emitted by the bench harnesses (bench_json.hpp /
 bench_slice_apps): a top-level object with a "results" array of
@@ -21,6 +22,12 @@ Failure rules:
     the run. Everything else is advisory: printed and summarized, but
     runner jitter on the noisy records cannot fail a merge. This is the
     mode the CI gate runs in.
+
+--fields diffs non-benchmark scalars by dotted path into the raw documents
+(e.g. probe.locality.remote_allocs) between baseline and current. Always
+advisory: the values are printed side by side so locality/probe counters
+are visible in the trajectory, but they never gate the exit code (the
+binary's own all_ok probes gate correctness).
 """
 
 import argparse
@@ -55,6 +62,10 @@ def main():
     ap.add_argument("--stable", default="",
                     help="curated stable-record subset: only these records "
                          "gate the exit code; the rest are advisory")
+    ap.add_argument("--fields", default="",
+                    help="comma-separated dotted paths into the raw records "
+                         "(e.g. probe.locality.remote_allocs) to print side "
+                         "by side; advisory only")
     args = ap.parse_args()
 
     base_doc, base = load_results(args.baseline)
@@ -103,6 +114,25 @@ def main():
                           f"({b:.1f} -> {c:.1f})")
             flag = "  << REGRESSION"
         print(f"{name:<{width}}  {b:>12.1f}  {c:>12.1f}  {delta:>+7.1%}{flag}{gate_tag}")
+
+    if args.fields:
+        def lookup(doc, path):
+            node = doc
+            for part in path.split("."):
+                if not isinstance(node, dict) or part not in node:
+                    return None
+                node = node[part]
+            return node
+
+        paths = [p for p in args.fields.split(",") if p]
+        fwidth = max((len(p) for p in paths), default=5)
+        print(f"\n{'field':<{fwidth}}  {'base':>14}  {'cur':>14}")
+        for path in paths:
+            bval, cval = lookup(base_doc, path), lookup(cur_doc, path)
+            bstr = "MISSING" if bval is None else str(bval)
+            cstr = "MISSING" if cval is None else str(cval)
+            changed = "  (changed)" if bstr != cstr else ""
+            print(f"{path:<{fwidth}}  {bstr:>14}  {cstr:>14}{changed}")
 
     # all_ok=false means a correctness probe failed: always fatal, in every
     # mode — it is not a perf-noise question.

@@ -377,6 +377,16 @@ class hyperqueue {
     cb_->attach_owner(detail::current_frame());
   }
 
+  /// As above, with the queue's segment arenas pinned to NUMA node
+  /// `home_node` (e.g. the consumer stage's node from plan_queue_placement,
+  /// sched/partition.hpp). home_node < 0 = the default follow-the-allocating-
+  /// worker behavior.
+  hyperqueue(std::size_t segment_length, int home_node)
+      : cb_(new detail::queue_cb(detail::make_element_ops<T>(), segment_length)) {
+    cb_->set_home_node(home_node);
+    cb_->attach_owner(detail::current_frame());
+  }
+
   hyperqueue(const hyperqueue&) = delete;
   hyperqueue& operator=(const hyperqueue&) = delete;
 
@@ -427,6 +437,12 @@ class hyperqueue {
   /// acquisitions (zero on the fast path; mu_view and mu_attach stay 0 on
   /// the producer side — the zero-mutex-on-push contract).
   [[nodiscard]] data_path_stats data_stats() const { return cb_->data_stats(); }
+
+  /// Re-pin fresh segment arenas to `node` (takes effect for segments
+  /// allocated after the call; pooled segments keep their arena). See
+  /// detail::queue_cb::set_home_node.
+  void set_home_node(int node) { cb_->set_home_node(node); }
+  [[nodiscard]] int home_node() const { return cb_->home_node(); }
 
   // Selective sync (Section 5.5): suspend the calling task until its
   // children with the given access mode on this queue have completed.

@@ -1,0 +1,111 @@
+#include "core/numa.hpp"
+
+#include <cstdint>
+#include <new>
+
+#if defined(__linux__)
+#include <sys/mman.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+#endif
+
+namespace hq::numa {
+
+namespace {
+
+#if defined(__linux__)
+
+constexpr std::size_t kPage = 4096;
+// From <numaif.h>, which may not be installed: prefer the node but fall
+// back to others under pressure — arenas must never fail just because one
+// node is full.
+constexpr int kMpolPreferred = 1;
+
+std::size_t page_round(std::size_t bytes) {
+  return (bytes + kPage - 1) / kPage * kPage;
+}
+
+void bind_region(void* p, std::size_t bytes, int node) {
+#ifdef __NR_mbind
+  if (node < 0 || node >= 64) return;
+  unsigned long mask = 1ul << node;
+  // Failure (no NUMA support, synthetic node id, seccomp) leaves the
+  // mapping on first-touch policy — intentionally ignored.
+  (void)syscall(__NR_mbind, p, bytes, kMpolPreferred, &mask,
+                sizeof(mask) * 8 + 1, 0);
+#else
+  (void)p;
+  (void)bytes;
+  (void)node;
+#endif
+}
+
+#endif  // __linux__
+
+}  // namespace
+
+bool binding_available() noexcept {
+#if defined(__linux__) && defined(__NR_mbind)
+  return true;
+#else
+  return false;
+#endif
+}
+
+void* alloc(std::size_t bytes, std::size_t align, int node) {
+#if defined(__linux__)
+  const std::size_t mapped = page_round(bytes);
+  if (align <= kPage) {
+    void* p = ::mmap(nullptr, mapped, PROT_READ | PROT_WRITE,
+                     MAP_PRIVATE | MAP_ANONYMOUS, -1, 0);
+    if (p == MAP_FAILED) throw std::bad_alloc();
+    bind_region(p, mapped, node);
+    return p;
+  }
+  // Over-map and trim to carve an alignment stronger than a page (slab
+  // arenas align to their own size so a block's slab header is one mask
+  // away).
+  const std::size_t total = mapped + align;
+  auto* raw = static_cast<char*>(::mmap(nullptr, total, PROT_READ | PROT_WRITE,
+                                        MAP_PRIVATE | MAP_ANONYMOUS, -1, 0));
+  if (raw == MAP_FAILED) throw std::bad_alloc();
+  auto base = reinterpret_cast<std::uintptr_t>(raw);
+  const std::uintptr_t aligned = (base + align - 1) & ~(align - 1);
+  if (aligned != base) ::munmap(raw, aligned - base);
+  const std::uintptr_t end = base + total;
+  if (aligned + mapped != end) {
+    ::munmap(reinterpret_cast<void*>(aligned + mapped), end - (aligned + mapped));
+  }
+  void* p = reinterpret_cast<void*>(aligned);
+  bind_region(p, mapped, node);
+  return p;
+#else
+  (void)node;  // no binding off Linux; plain aligned heap memory
+  void* p = ::operator new(bytes, std::align_val_t{align});
+  std::memset(p, 0, bytes);
+  return p;
+#endif
+}
+
+void free(void* p, std::size_t bytes, std::size_t align) noexcept {
+  if (p == nullptr) return;
+#if defined(__linux__)
+  ::munmap(p, page_round(bytes));
+  (void)align;
+#else
+  (void)bytes;
+  ::operator delete(p, std::align_val_t{align});
+#endif
+}
+
+int current_node() noexcept {
+#if defined(__linux__) && defined(__NR_getcpu)
+  unsigned cpu = 0, node = 0;
+  if (syscall(__NR_getcpu, &cpu, &node, nullptr) != 0) return -1;
+  return static_cast<int>(node);
+#else
+  return -1;
+#endif
+}
+
+}  // namespace hq::numa

@@ -1,0 +1,35 @@
+// Raw-syscall NUMA memory binding — no libnuma dependency.
+//
+// The topology-aware arenas (sched/obj_pool.hpp slabs, core/segment
+// storage) want their pages resident on the NUMA node of the worker that
+// owns them. libnuma is not a dependency this library can assume, so the
+// binding is a thin wrapper over mmap + the mbind(2) syscall invoked
+// directly by number; when the syscall is unavailable (non-Linux, seccomp,
+// synthetic node ids beyond the real machine) the allocation silently
+// degrades to first-touch placement — the memory is still valid, it is
+// just not guaranteed to live on the requested node. Callers therefore
+// treat the node as a *preference*; correctness never depends on it.
+#pragma once
+
+#include <cstddef>
+
+namespace hq::numa {
+
+/// True when mbind(2) can be issued on this platform (compile-time Linux
+/// check; the call itself may still fail at runtime and is then ignored).
+[[nodiscard]] bool binding_available() noexcept;
+
+/// Allocate `bytes` of zeroed memory aligned to `align` (a power of two),
+/// preferentially bound to NUMA `node` (< 0: no preference). Never returns
+/// null for sane sizes; falls back to an unbound mapping, then to the
+/// global heap. Release with free(ptr, bytes, align).
+[[nodiscard]] void* alloc(std::size_t bytes, std::size_t align, int node);
+
+/// Release memory obtained from alloc() with identical bytes/align.
+void free(void* p, std::size_t bytes, std::size_t align) noexcept;
+
+/// NUMA node the calling thread is currently executing on (getcpu(2));
+/// -1 when the platform cannot tell.
+[[nodiscard]] int current_node() noexcept;
+
+}  // namespace hq::numa

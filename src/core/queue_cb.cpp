@@ -105,7 +105,12 @@ segment* queue_cb::alloc_segment() {
   }
   seg_live.fetch_add(1, std::memory_order_relaxed);
   seg_fresh.fetch_add(1, std::memory_order_relaxed);
-  return segment::create(seg_capacity, &ops, &dp_);
+  // Fresh segment: home it on the queue's pinned node when set, else on the
+  // allocating worker's node (-1 on unplaced workers keeps the heap path —
+  // the pre-topology behavior, byte for byte).
+  int node = home_node_.load(std::memory_order_relaxed);
+  if (node < 0) node = scheduler::current_worker_node();
+  return segment::create(seg_capacity, &ops, &dp_, node);
 }
 
 void queue_cb::recycle_segment(segment* s) {

@@ -3,6 +3,8 @@
 #include <bit>
 #include <new>
 
+#include "core/numa.hpp"
+
 namespace hq::detail {
 
 namespace {
@@ -17,7 +19,7 @@ std::size_t segment_alignment(const element_ops* ops) {
 }  // namespace
 
 segment* segment::create(std::uint64_t capacity, const element_ops* ops,
-                         data_path_counters* counters) {
+                         data_path_counters* counters, int node) {
   assert(capacity >= 2 && std::has_single_bit(capacity));
   // One allocation: [segment header | padding to element alignment | slots].
   const std::size_t align = segment_alignment(ops);
@@ -25,8 +27,20 @@ segment* segment::create(std::uint64_t capacity, const element_ops* ops,
                                                                : alignof(segment);
   const std::size_t header = (sizeof(segment) + elem_align - 1) / elem_align * elem_align;
   const std::size_t bytes = header + capacity * ops->size;
-  auto* raw = static_cast<std::byte*>(::operator new(bytes, std::align_val_t{align}));
-  return ::new (raw) segment(capacity, ops, raw + header, counters);
+  std::byte* raw;
+  std::size_t map_bytes = 0;
+  if (node >= 0) {
+    // Node-homed arena: page-granular mapping bound to the queue's home
+    // node, so the slot array — the bytes every element crosses — lives
+    // next to its consumer. The sub-page waste is irrelevant at the default
+    // segment sizes (hundreds of slots), and segments recycle through the
+    // queue's free list rather than being re-mapped per chain link.
+    raw = static_cast<std::byte*>(numa::alloc(bytes, align, node));
+    map_bytes = bytes;
+  } else {
+    raw = static_cast<std::byte*>(::operator new(bytes, std::align_val_t{align}));
+  }
+  return ::new (raw) segment(capacity, ops, raw + header, counters, map_bytes);
 }
 
 void segment::destroy(segment* s) {
@@ -34,8 +48,13 @@ void segment::destroy(segment* s) {
              s->tail.load(std::memory_order_relaxed) &&
          "elements must be destroyed before freeing a segment");
   const std::size_t align = segment_alignment(s->ops);
+  const std::size_t map_bytes = s->map_bytes_;
   s->~segment();
-  ::operator delete(static_cast<void*>(s), std::align_val_t{align});
+  if (map_bytes != 0) {
+    numa::free(static_cast<void*>(s), map_bytes, align);
+  } else {
+    ::operator delete(static_cast<void*>(s), std::align_val_t{align});
+  }
 }
 
 }  // namespace hq::detail

@@ -131,9 +131,12 @@ class segment {
  public:
   /// Allocate a segment with `capacity` element slots (must be a power of
   /// two) in a single allocation. `counters`, when non-null, receives the
-  /// remote-index-reload counts (slow path only).
+  /// remote-index-reload counts (slow path only). `node` >= 0 places the
+  /// allocation on that NUMA node (core/numa.hpp: page-granular, preference
+  /// binding, first-touch fallback); node < 0 keeps the plain heap path.
   static segment* create(std::uint64_t capacity, const element_ops* ops,
-                         data_path_counters* counters = nullptr);
+                         data_path_counters* counters = nullptr,
+                         int node = -1);
 
   /// Free the segment's memory. Remaining elements must have been destroyed.
   static void destroy(segment* s);
@@ -327,13 +330,14 @@ class segment {
 
  private:
   segment(std::uint64_t capacity, const element_ops* o, std::byte* storage,
-          data_path_counters* counters)
+          data_path_counters* counters, std::size_t map_bytes)
       : mask(capacity - 1),
         ops(o),
         esize_(o->size),
         trivial_(o->trivial_copy),
         storage_(storage),
-        counters_(counters) {}
+        counters_(counters),
+        map_bytes_(map_bytes) {}
   ~segment() = default;
 
   /// Monitoring-grade counter bump: a plain load+store pair instead of a
@@ -363,6 +367,9 @@ class segment {
   const bool trivial_;
   std::byte* const storage_;
   data_path_counters* const counters_;
+  /// Mapping size when numa-allocated (destroy must munmap exactly what
+  /// create mapped); 0 marks the plain heap path.
+  const std::size_t map_bytes_;
 };
 
 }  // namespace hq::detail

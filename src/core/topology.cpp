@@ -1,0 +1,330 @@
+#include "core/topology.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <thread>
+
+namespace hq {
+
+namespace {
+
+/// Read a one-line sysfs attribute; empty string when absent/unreadable.
+std::string read_attr(const std::string& path) {
+  std::ifstream f(path);
+  if (!f.is_open()) return {};
+  std::string line;
+  std::getline(f, line);
+  while (!line.empty() && (line.back() == '\n' || line.back() == '\r' ||
+                           line.back() == ' ')) {
+    line.pop_back();
+  }
+  return line;
+}
+
+long read_long(const std::string& path, long fallback) {
+  const std::string s = read_attr(path);
+  if (s.empty()) return fallback;
+  char* end = nullptr;
+  const long v = std::strtol(s.c_str(), &end, 10);
+  return end == s.c_str() ? fallback : v;
+}
+
+/// Parse a kernel cpulist ("0-3,5,8-9") into ascending CPU ids.
+std::vector<unsigned> parse_cpulist(const std::string& list) {
+  std::vector<unsigned> cpus;
+  std::stringstream ss(list);
+  std::string tok;
+  while (std::getline(ss, tok, ',')) {
+    if (tok.empty()) continue;
+    const std::size_t dash = tok.find('-');
+    char* end = nullptr;
+    if (dash == std::string::npos) {
+      const long v = std::strtol(tok.c_str(), &end, 10);
+      if (end != tok.c_str() && v >= 0) cpus.push_back(static_cast<unsigned>(v));
+    } else {
+      const long lo = std::strtol(tok.c_str(), &end, 10);
+      const long hi = std::strtol(tok.c_str() + dash + 1, &end, 10);
+      for (long v = lo; v >= 0 && v <= hi; ++v) {
+        cpus.push_back(static_cast<unsigned>(v));
+      }
+    }
+  }
+  std::sort(cpus.begin(), cpus.end());
+  cpus.erase(std::unique(cpus.begin(), cpus.end()), cpus.end());
+  return cpus;
+}
+
+unsigned hardware_cpus() {
+  const unsigned n = std::thread::hardware_concurrency();
+  return n == 0 ? 1 : n;
+}
+
+/// Renumber arbitrary raw ids into dense 0..k-1 ids, preserving raw order.
+unsigned densify(std::vector<unsigned>& ids) {
+  std::vector<unsigned> sorted = ids;
+  std::sort(sorted.begin(), sorted.end());
+  sorted.erase(std::unique(sorted.begin(), sorted.end()), sorted.end());
+  for (unsigned& id : ids) {
+    id = static_cast<unsigned>(
+        std::lower_bound(sorted.begin(), sorted.end(), id) - sorted.begin());
+  }
+  return static_cast<unsigned>(sorted.size());
+}
+
+}  // namespace
+
+const topology& topology::system() {
+  static const topology t = detect();
+  return t;
+}
+
+topology topology::detect() {
+  if (const char* env = std::getenv("HQ_TOPOLOGY")) {
+    return synthetic(env);
+  }
+  topology t = from_sysfs("/sys/devices/system");
+  if (t.num_cpus() == 0) return flat(hardware_cpus());
+  return t;
+}
+
+topology topology::flat(unsigned ncpus) {
+  topology t;
+  if (ncpus == 0) ncpus = 1;
+  t.cpus_.reserve(ncpus);
+  for (unsigned c = 0; c < ncpus; ++c) {
+    t.cpus_.push_back(cpu_desc{c, 0, 0, 0, c, 0});
+  }
+  t.index();
+  return t;
+}
+
+topology topology::synthetic(std::string_view spec) {
+  if (spec == "flat") {
+    topology t = flat(hardware_cpus());
+    t.synthetic_ = true;
+    return t;
+  }
+  // "<nodes>x<cpus-per-node>[x<smt-ways>]" — each node is its own package
+  // and LLC group; cpus-per-node must divide by the SMT ways.
+  unsigned dims[3] = {0, 0, 1};
+  int ndims = 0;
+  const char* p = spec.data();
+  const char* end = p + spec.size();
+  while (p < end && ndims < 3) {
+    char* stop = nullptr;
+    const long v = std::strtol(p, &stop, 10);
+    if (stop == p || v <= 0) break;
+    dims[ndims++] = static_cast<unsigned>(v);
+    p = stop;
+    if (p == end) break;
+    if (*p != 'x' && *p != 'X') break;
+    ++p;
+  }
+  const unsigned nodes = dims[0], per_node = dims[1], smt = dims[2];
+  const bool valid = p == end && ndims >= 2 && nodes >= 1 && per_node >= 1 &&
+                     smt >= 1 && per_node % smt == 0 &&
+                     nodes * per_node <= 4096;
+  if (!valid) {
+    topology t = flat(hardware_cpus());
+    t.synthetic_ = true;
+    return t;
+  }
+  topology t;
+  t.synthetic_ = true;
+  const unsigned cores_per_node = per_node / smt;
+  for (unsigned n = 0; n < nodes; ++n) {
+    for (unsigned c = 0; c < cores_per_node; ++c) {
+      for (unsigned s = 0; s < smt; ++s) {
+        cpu_desc d;
+        d.cpu = n * per_node + c * smt + s;
+        d.package = n;
+        d.node = n;
+        d.llc = n;
+        d.core = n * cores_per_node + c;
+        d.smt = s;
+        t.cpus_.push_back(d);
+      }
+    }
+  }
+  t.index();
+  return t;
+}
+
+topology topology::from_sysfs(const std::string& root) {
+  topology t;
+  const std::string cpu_root = root + "/cpu";
+  std::vector<unsigned> online = parse_cpulist(read_attr(cpu_root + "/online"));
+  if (online.empty()) return t;
+
+  // NUMA node of each CPU from node/nodeN/cpulist; absent tree = one node.
+  std::map<unsigned, unsigned> cpu_node;
+  for (unsigned n = 0; n < 1024; ++n) {
+    const std::string list =
+        read_attr(root + "/node/node" + std::to_string(n) + "/cpulist");
+    if (list.empty()) {
+      if (n > 64) break;  // tolerate sparse node ids near the origin
+      continue;
+    }
+    for (unsigned cpu : parse_cpulist(list)) cpu_node[cpu] = n;
+  }
+
+  std::vector<unsigned> raw_pkg, raw_node, raw_llc, raw_core;
+  std::map<std::string, unsigned> llc_groups;    // shared_cpu_list -> group id
+  std::map<std::pair<long, long>, unsigned> core_groups;  // (pkg, core_id)
+
+  for (unsigned cpu : online) {
+    const std::string base = cpu_root + "/cpu" + std::to_string(cpu);
+    cpu_desc d;
+    d.cpu = cpu;
+    const long pkg = read_long(base + "/topology/physical_package_id", 0);
+    const long core_id = read_long(base + "/topology/core_id", cpu);
+
+    // SMT rank: position among the online thread siblings.
+    std::string sib = read_attr(base + "/topology/thread_siblings_list");
+    if (sib.empty()) sib = read_attr(base + "/topology/core_cpus_list");
+    unsigned rank = 0;
+    for (unsigned s : parse_cpulist(sib)) {
+      if (s >= cpu) break;
+      if (std::binary_search(online.begin(), online.end(), s)) ++rank;
+    }
+    d.smt = rank;
+
+    // LLC group: deepest data/unified cache level's shared_cpu_list.
+    long best_level = -1;
+    std::string best_shared;
+    for (unsigned idx = 0; idx < 32; ++idx) {
+      const std::string cbase = base + "/cache/index" + std::to_string(idx);
+      const long level = read_long(cbase + "/level", -1);
+      if (level < 0) continue;
+      if (read_attr(cbase + "/type") == "Instruction") continue;
+      if (level > best_level) {
+        const std::string shared = read_attr(cbase + "/shared_cpu_list");
+        if (!shared.empty()) {
+          best_level = level;
+          best_shared = shared;
+        }
+      }
+    }
+
+    auto node_it = cpu_node.find(cpu);
+    const unsigned node = node_it != cpu_node.end() ? node_it->second : 0;
+    // No cache description: fall back to one LLC per node.
+    if (best_shared.empty()) best_shared = "node:" + std::to_string(node);
+    const unsigned llc =
+        llc_groups.emplace(best_shared, static_cast<unsigned>(llc_groups.size()))
+            .first->second;
+    const unsigned core =
+        core_groups
+            .emplace(std::make_pair(pkg, core_id),
+                     static_cast<unsigned>(core_groups.size()))
+            .first->second;
+
+    raw_pkg.push_back(static_cast<unsigned>(pkg));
+    raw_node.push_back(node);
+    raw_llc.push_back(llc);
+    raw_core.push_back(core);
+    t.cpus_.push_back(d);
+  }
+
+  densify(raw_pkg);
+  densify(raw_node);
+  for (std::size_t i = 0; i < t.cpus_.size(); ++i) {
+    t.cpus_[i].package = raw_pkg[i];
+    t.cpus_[i].node = raw_node[i];
+    t.cpus_[i].llc = raw_llc[i];
+    t.cpus_[i].core = raw_core[i];
+  }
+  t.index();
+  return t;
+}
+
+void topology::index() {
+  std::vector<unsigned> v;
+  auto count = [&](unsigned cpu_desc::* field) {
+    v.clear();
+    for (const cpu_desc& d : cpus_) v.push_back(d.*field);
+    return densify(v);
+  };
+  num_packages_ = count(&cpu_desc::package);
+  num_nodes_ = count(&cpu_desc::node);
+  num_llcs_ = count(&cpu_desc::llc);
+  num_cores_ = count(&cpu_desc::core);
+}
+
+const cpu_desc* topology::find(unsigned cpu) const noexcept {
+  for (const cpu_desc& d : cpus_) {
+    if (d.cpu == cpu) return &d;
+  }
+  return nullptr;
+}
+
+unsigned topology::distance(const cpu_desc& a, const cpu_desc& b) noexcept {
+  if (a.cpu == b.cpu) return kDistSelf;
+  if (a.core == b.core) return kDistSmt;
+  if (a.llc == b.llc) return kDistLlc;
+  if (a.node == b.node) return kDistNode;
+  if (a.package == b.package) return kDistPackage;
+  return kDistRemote;
+}
+
+placement_policy placement_policy_from_env() noexcept {
+  const char* env = std::getenv("HQ_PLACEMENT");
+  if (env == nullptr) return placement_policy::none;
+  const std::string_view s(env);
+  if (s == "compact") return placement_policy::compact;
+  if (s == "scatter") return placement_policy::scatter;
+  return placement_policy::none;
+}
+
+const char* to_string(placement_policy p) noexcept {
+  switch (p) {
+    case placement_policy::compact: return "compact";
+    case placement_policy::scatter: return "scatter";
+    case placement_policy::none: break;
+  }
+  return "none";
+}
+
+std::vector<unsigned> plan_placement(const topology& topo,
+                                     placement_policy policy,
+                                     unsigned num_workers) {
+  if (policy == placement_policy::none || topo.num_cpus() == 0 ||
+      num_workers == 0) {
+    return {};
+  }
+  // Compact fill order: domain by domain, SMT siblings adjacent. Ties
+  // cannot occur (cpu ids are unique), so the order is a pure function of
+  // the topology.
+  std::vector<const cpu_desc*> order;
+  order.reserve(topo.num_cpus());
+  for (const cpu_desc& d : topo.cpus()) order.push_back(&d);
+  std::sort(order.begin(), order.end(), [](const cpu_desc* a, const cpu_desc* b) {
+    return std::tie(a->node, a->llc, a->core, a->smt, a->cpu) <
+           std::tie(b->node, b->llc, b->core, b->smt, b->cpu);
+  });
+
+  if (policy == placement_policy::scatter) {
+    // Round-robin the compact per-node sequences across nodes.
+    std::vector<std::vector<const cpu_desc*>> per_node(topo.num_nodes());
+    for (const cpu_desc* d : order) per_node[d->node].push_back(d);
+    std::vector<const cpu_desc*> rr;
+    rr.reserve(order.size());
+    for (std::size_t i = 0; rr.size() < order.size(); ++i) {
+      for (auto& nl : per_node) {
+        if (i < nl.size()) rr.push_back(nl[i]);
+      }
+    }
+    order = std::move(rr);
+  }
+
+  std::vector<unsigned> cpus(num_workers);
+  for (unsigned w = 0; w < num_workers; ++w) {
+    cpus[w] = order[w % order.size()]->cpu;
+  }
+  return cpus;
+}
+
+}  // namespace hq

@@ -5,13 +5,12 @@
 // qattach and up to two pshard records), and every completion frees them —
 // on whichever worker happened to run finish(). Shards are additionally
 // freed by the consumer as its scan passes them, which is exactly the
-// cross-worker return path below. A global new/delete pair on that path serializes all workers on
-// the allocator; this pool removes it:
+// cross-worker return path below. A global new/delete pair on that path
+// serializes all workers on the allocator; this pool removes it:
 //
 //  * each worker owns a magazine: a singly-linked freelist touched only by
 //    that worker (no synchronization on the alloc fast path), refilled by
-//    carving cache-aligned blocks out of per-worker slabs (geometrically
-//    grown arenas released only at pool destruction);
+//    carving cache-aligned blocks out of per-worker slabs;
 //  * a block freed by a *different* worker is pushed onto the allocating
 //    magazine's MPSC return stack (one release-CAS), bounded by `cap` —
 //    beyond it the block migrates to the freeing worker's own freelist
@@ -20,6 +19,18 @@
 //    list runs dry, so steady-state pipelines (producer spawns on one
 //    worker, consumer finishes on another) recirculate a bounded working
 //    set with zero mallocs.
+//
+// Topology awareness: each magazine has a home NUMA node (the node its
+// worker is pinned to). The magazine record itself and all of its slabs
+// are mmap-backed and bound to that node (core/numa.hpp; first-touch
+// fallback when binding is unavailable), so a worker's frames, shards and
+// attachments live in node-local memory. Slabs are fixed-size and aligned
+// to their own size, with the home node stamped in a header line — any
+// block finds its memory's node with one mask + load, which is how the
+// node_local_allocs / remote_allocs counters attribute every pool-served
+// allocation. Remote allocs appear only when the bounded-return overflow
+// path migrates a block across nodes: under single-node pinning the remote
+// count is exactly zero, and tests gate on that.
 //
 // Total pool memory is bounded by the peak number of simultaneously live
 // blocks (slabs never shrink before the pool dies); the cap only bounds the
@@ -38,6 +49,7 @@
 
 #include "conc/cache.hpp"
 #include "conc/spinlock.hpp"
+#include "core/numa.hpp"
 
 namespace hq::detail {
 
@@ -59,6 +71,14 @@ class obj_pool {
     /// served purely from magazines between samples can exceed it.
     std::uint64_t high_water = 0;
     std::uint64_t live = 0;        ///< blocks currently in use
+    /// Locality attribution of every magazine-served allocation: the block's
+    /// memory (slab home node) matched / did not match the allocating
+    /// worker's home node. Remote blocks exist only via cross-node return-
+    /// stack overflow migration; node_local + remote equals the magazine-
+    /// served share of allocated + recycled (external-thread heap blocks
+    /// are not attributed).
+    std::uint64_t node_local_allocs = 0;
+    std::uint64_t remote_allocs = 0;
   };
 
   obj_pool() = default;
@@ -66,19 +86,37 @@ class obj_pool {
   obj_pool& operator=(const obj_pool&) = delete;
 
   /// One-time setup (the worker count is only known in the scheduler ctor
-  /// body). `cap` bounds each magazine's cross-worker return stack.
-  void init(unsigned num_workers, std::size_t block_bytes, std::size_t cap) {
+  /// body). `cap` bounds each magazine's cross-worker return stack;
+  /// `home_nodes`, when non-empty, gives each worker magazine's NUMA node
+  /// (size must then equal num_workers; -1 entries mean "unplaced", which
+  /// keeps all accounting node-0-like and never binds memory).
+  void init(unsigned num_workers, std::size_t block_bytes, std::size_t cap,
+            const std::vector<int>& home_nodes = {}) {
     assert(mags_.empty() && "obj_pool::init called twice");
+    assert(home_nodes.empty() || home_nodes.size() == num_workers);
     block_bytes_ = (block_bytes + kCacheLine - 1) / kCacheLine * kCacheLine;
-    assert(block_bytes_ <= kMinSlabBytes && "block size exceeds slab size");
+    assert(block_bytes_ <= kSlabBytes - kCacheLine && "block exceeds slab size");
     cap_ = cap;
-    mags_ = std::vector<magazine>(num_workers);
+    mags_.reserve(num_workers);
+    for (unsigned w = 0; w < num_workers; ++w) {
+      const int node = home_nodes.empty() ? -1 : home_nodes[w];
+      // The magazine record itself is node-homed and page-isolated: the
+      // cross-worker return-stack heads of different workers must never
+      // share an allocation, let alone a node (they are written remotely
+      // under contention).
+      void* mem = numa::alloc(sizeof(magazine), alignof(magazine), node);
+      auto* m = ::new (mem) magazine();
+      m->home_node = node;
+      mags_.push_back(m);
+    }
   }
 
   ~obj_pool() {
     assert(stats().live == 0 && "obj_pool destroyed with blocks still in use");
-    for (magazine& m : mags_) {
-      for (void* s : m.slabs) ::operator delete(s, std::align_val_t{kCacheLine});
+    for (magazine* m : mags_) {
+      for (void* s : m->slabs) numa::free(s, kSlabBytes, kSlabBytes);
+      m->~magazine();
+      numa::free(m, sizeof(magazine), alignof(magazine));
     }
     while (ext_free_ != nullptr) {
       free_block* n = ext_free_->next;
@@ -91,14 +129,24 @@ class obj_pool {
   /// non-worker threads). Only the owning worker may pass its own index.
   void* alloc(unsigned worker) {
     if (worker == kPoolExternal) return external_alloc();
-    magazine& m = mags_[worker];
+    magazine& m = *mags_[worker];
     if (m.local == nullptr) adopt_returns(m);
+    void* p;
     if (free_block* b = m.local) {
       m.local = b->next;
       m.recycled.fetch_add(1, std::memory_order_relaxed);
-      return b;
+      p = b;
+    } else {
+      p = carve(m);
     }
-    return carve(m);
+    // Locality attribution: one mask + one read-only load on the slab
+    // header line. The counters are owner-written, stats()-read.
+    if (slab_node(p) == m.home_node) {
+      m.node_local.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      m.remote.fetch_add(1, std::memory_order_relaxed);
+    }
+    return p;
   }
 
   /// Return a block to the pool. `owner` is the magazine recorded at alloc
@@ -112,13 +160,14 @@ class obj_pool {
     }
     auto* b = ::new (p) free_block{nullptr};
     if (freeing != kPoolExternal) {
-      magazine& f = mags_[freeing];
+      magazine& f = *mags_[freeing];
       f.freed.fetch_add(1, std::memory_order_relaxed);
       if (owner == freeing ||
-          mags_[owner].return_count.load(std::memory_order_relaxed) >= cap_) {
+          mags_[owner]->return_count.load(std::memory_order_relaxed) >= cap_) {
         // Same-worker free, or the owner's return stack is full: keep the
         // block here. Blocks are interchangeable, so ownership migrates to
-        // this magazine the next time the block is handed out.
+        // this magazine the next time the block is handed out — across
+        // nodes this is the one path that creates remote_allocs.
         b->next = f.local;
         f.local = b;
         return;
@@ -129,12 +178,12 @@ class obj_pool {
       // block goes back to the owner regardless — the cap is soft on this
       // path. Cold in practice: frames and attachments are freed in
       // finish(), which always runs on a worker.
-      mags_[owner].freed.fetch_add(1, std::memory_order_relaxed);
+      mags_[owner]->freed.fetch_add(1, std::memory_order_relaxed);
     }
     // Bounded cross-worker return (frames are freed by whichever worker ran
     // finish()). The count is approximate — concurrent frees may overshoot
     // by a thread count, which only makes the bound slightly soft.
-    magazine& m = mags_[owner];
+    magazine& m = *mags_[owner];
     m.return_count.fetch_add(1, std::memory_order_relaxed);
     free_block* head = m.returns.load(std::memory_order_relaxed);
     do {
@@ -146,10 +195,12 @@ class obj_pool {
   [[nodiscard]] stats_t stats() const {
     stats_t s;
     std::uint64_t freed = 0;
-    for (const magazine& m : mags_) {
-      s.allocated += m.carved.load(std::memory_order_relaxed);
-      s.recycled += m.recycled.load(std::memory_order_relaxed);
-      freed += m.freed.load(std::memory_order_relaxed);
+    for (const magazine* m : mags_) {
+      s.allocated += m->carved.load(std::memory_order_relaxed);
+      s.recycled += m->recycled.load(std::memory_order_relaxed);
+      s.node_local_allocs += m->node_local.load(std::memory_order_relaxed);
+      s.remote_allocs += m->remote.load(std::memory_order_relaxed);
+      freed += m->freed.load(std::memory_order_relaxed);
     }
     s.allocated += ext_fresh_.load(std::memory_order_relaxed);
     s.recycled += ext_recycled_.load(std::memory_order_relaxed);
@@ -174,25 +225,40 @@ class obj_pool {
     free_block* next;
   };
 
+  /// First cache line of every slab; blocks start at the next line. A block
+  /// pointer masked down to the slab boundary lands here, making the memory
+  /// node of any pool block a one-load lookup.
+  struct slab_header {
+    int node;
+  };
+
   struct magazine {
-    // Owner-worker line: freelist, slab cursor and counters are only ever
+    // Owner-worker lines: freelist, slab cursor and counters are only ever
     // written by the owning worker (counters are read by stats()).
     free_block* local = nullptr;
     char* slab_pos = nullptr;
     char* slab_end = nullptr;
-    std::size_t next_slab_bytes = kMinSlabBytes;
+    int home_node = -1;
     std::vector<void*> slabs;
     std::atomic<std::uint64_t> carved{0};    // fresh blocks cut from slabs
     std::atomic<std::uint64_t> recycled{0};  // allocs served from freelists
     std::atomic<std::uint64_t> freed{0};     // frees executed by this worker
+    std::atomic<std::uint64_t> node_local{0};
+    std::atomic<std::uint64_t> remote{0};
     // Shared line: cross-worker returns land here (MPSC Treiber stack; the
     // owner pops everything at once, so there is no ABA window).
     alignas(kCacheLine) std::atomic<free_block*> returns{nullptr};
     std::atomic<std::size_t> return_count{0};
   };
 
-  static constexpr std::size_t kMinSlabBytes = std::size_t{1} << 12;   // 4 KiB
-  static constexpr std::size_t kMaxSlabBytes = std::size_t{1} << 18;   // 256 KiB
+  /// Slabs are fixed-size and self-aligned so the header lookup is a mask.
+  static constexpr std::size_t kSlabBytes = std::size_t{1} << 16;  // 64 KiB
+
+  static int slab_node(const void* p) noexcept {
+    const auto* h = reinterpret_cast<const slab_header*>(
+        reinterpret_cast<std::uintptr_t>(p) & ~(kSlabBytes - 1));
+    return h->node;
+  }
 
   /// Adopt the entire return stack into the local freelist. The acquire
   /// exchange synchronizes with every pusher's release-CAS (they form one
@@ -212,15 +278,15 @@ class obj_pool {
   }
 
   /// Slow path: cut a fresh cache-aligned block out of the worker's slab,
-  /// growing the arena geometrically when exhausted.
+  /// mapping a fresh node-bound slab when exhausted.
   void* carve(magazine& m) {
     if (m.slab_pos == m.slab_end) {
-      const std::size_t bytes = m.next_slab_bytes;
-      if (m.next_slab_bytes < kMaxSlabBytes) m.next_slab_bytes *= 2;
-      void* slab = ::operator new(bytes, std::align_val_t{kCacheLine});
+      void* slab = numa::alloc(kSlabBytes, kSlabBytes, m.home_node);
+      static_cast<slab_header*>(slab)->node = m.home_node;
       m.slabs.push_back(slab);
-      m.slab_pos = static_cast<char*>(slab);
-      m.slab_end = m.slab_pos + bytes / block_bytes_ * block_bytes_;
+      m.slab_pos = static_cast<char*>(slab) + kCacheLine;
+      const std::size_t usable = kSlabBytes - kCacheLine;
+      m.slab_end = m.slab_pos + usable / block_bytes_ * block_bytes_;
     }
     void* p = m.slab_pos;
     m.slab_pos += block_bytes_;
@@ -230,7 +296,9 @@ class obj_pool {
   }
 
   /// External threads (no magazine) recycle through a tiny spinlock-guarded
-  /// freelist — cold path, one root frame per scheduler::run().
+  /// freelist — cold path, one root frame per scheduler::run(). These blocks
+  /// are plain heap memory (never slab-carved), so they carry no node tag
+  /// and stay out of the locality counters.
   void* external_alloc() {
     {
       std::lock_guard<spinlock> lk(ext_mu_);
@@ -260,7 +328,7 @@ class obj_pool {
 
   std::size_t block_bytes_ = 0;
   std::size_t cap_ = 0;
-  std::vector<magazine> mags_;
+  std::vector<magazine*> mags_;
   // External-thread blocks and the high-water mark: slow paths only, never
   // touched by the recycling fast path.
   spinlock ext_mu_;

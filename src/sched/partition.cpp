@@ -1,0 +1,157 @@
+#include "sched/partition.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <tuple>
+
+namespace hq {
+
+namespace {
+
+/// splitmix64: the deterministic tie-break hash. Chosen for its fixed,
+/// platform-independent output — the partition must replay from the seed
+/// bit-for-bit anywhere.
+std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+partition_result partition_greedy(const hypergraph& g, unsigned k,
+                                  std::uint64_t seed, double eps) {
+  partition_result res;
+  res.assignment.assign(g.num_vertices, 0);
+  if (g.num_vertices == 0 || k == 0) return res;
+  if (k == 1) {
+    for (unsigned v = 0; v < g.num_vertices; ++v) {
+      res.max_block_weight +=
+          v < g.vertex_weight.size() ? g.vertex_weight[v] : 1.0;
+    }
+    return res;
+  }
+
+  auto vweight = [&](unsigned v) {
+    return v < g.vertex_weight.size() ? g.vertex_weight[v] : 1.0;
+  };
+
+  // Incidence lists and total incident weight per vertex.
+  std::vector<std::vector<unsigned>> incident(g.num_vertices);
+  std::vector<double> incident_weight(g.num_vertices, 0.0);
+  for (unsigned e = 0; e < g.edges.size(); ++e) {
+    for (unsigned v : g.edges[e].pins) {
+      assert(v < g.num_vertices && "hyperedge pin out of range");
+      incident[v].push_back(e);
+      incident_weight[v] += g.edges[e].weight;
+    }
+  }
+
+  double total = 0;
+  for (unsigned v = 0; v < g.num_vertices; ++v) total += vweight(v);
+  const double cap = std::ceil(total / k) * (1.0 + eps);
+
+  // Visit order: heaviest-connected first (they anchor their neighborhoods),
+  // seeded hash as the deterministic tie-break.
+  std::vector<unsigned> order(g.num_vertices);
+  for (unsigned v = 0; v < g.num_vertices; ++v) order[v] = v;
+  std::sort(order.begin(), order.end(), [&](unsigned a, unsigned b) {
+    return std::make_tuple(-incident_weight[a], mix64(seed ^ a), a) <
+           std::make_tuple(-incident_weight[b], mix64(seed ^ b), b);
+  });
+
+  constexpr unsigned kUnassigned = ~0u;
+  std::vector<unsigned> assign(g.num_vertices, kUnassigned);
+  std::vector<double> block_weight(k, 0.0);
+  std::vector<double> gain(k, 0.0);
+
+  for (unsigned v : order) {
+    std::fill(gain.begin(), gain.end(), 0.0);
+    for (unsigned e : incident[v]) {
+      // Connectivity gain: each edge credits every block already holding one
+      // of its pins exactly once (the bitmask caps at 64 blocks — far above
+      // any NUMA node count; beyond it an edge may double-credit, which only
+      // softens the heuristic).
+      std::uint64_t seen = 0;
+      for (unsigned u : g.edges[e].pins) {
+        if (u == v || assign[u] == kUnassigned) continue;
+        const unsigned b = assign[u];
+        if (b < 64) {
+          if ((seen & (1ull << b)) != 0) continue;
+          seen |= 1ull << b;
+        }
+        gain[b] += g.edges[e].weight;
+      }
+    }
+    // Highest gain wins; among equals prefer the lighter block, then the
+    // lower index — all total orders, so the choice is deterministic.
+    unsigned best = kUnassigned;
+    for (unsigned b = 0; b < k; ++b) {
+      if (block_weight[b] + vweight(v) > cap) continue;
+      if (best == kUnassigned || gain[b] > gain[best] ||
+          (gain[b] == gain[best] && block_weight[b] < block_weight[best])) {
+        best = b;
+      }
+    }
+    if (best == kUnassigned) {
+      // Every block over cap (huge vertex): take the lightest outright.
+      best = 0;
+      for (unsigned b = 1; b < k; ++b) {
+        if (block_weight[b] < block_weight[best]) best = b;
+      }
+    }
+    assign[v] = best;
+    block_weight[best] += vweight(v);
+  }
+
+  res.assignment = std::move(assign);
+  for (const auto& e : g.edges) {
+    bool cut = false;
+    for (std::size_t i = 1; i < e.pins.size() && !cut; ++i) {
+      cut = res.assignment[e.pins[i]] != res.assignment[e.pins[0]];
+    }
+    if (cut) res.cut_weight += e.weight;
+  }
+  for (double w : block_weight) {
+    res.max_block_weight = std::max(res.max_block_weight, w);
+  }
+  return res;
+}
+
+queue_plan plan_queue_placement(const queue_graph& g, unsigned num_nodes,
+                                std::uint64_t seed) {
+  queue_plan plan;
+  plan.stage_node.assign(g.num_stages, 0);
+  plan.queue_node.assign(g.queues.size(), 0);
+  if (g.num_stages == 0) return plan;
+  if (num_nodes <= 1) return plan;  // single node: everything is local
+
+  hypergraph h;
+  h.num_vertices = g.num_stages;
+  h.edges.reserve(g.queues.size());
+  for (const auto& q : g.queues) {
+    hypergraph::edge e;
+    e.pins = q.producers;
+    assert(q.consumer < g.num_stages);
+    if (std::find(e.pins.begin(), e.pins.end(), q.consumer) == e.pins.end()) {
+      e.pins.push_back(q.consumer);
+    }
+    e.weight = q.traffic;
+    if (e.pins.size() >= 2) h.edges.push_back(std::move(e));
+  }
+
+  partition_result part = partition_greedy(h, num_nodes, seed);
+  plan.stage_node = part.assignment;
+  plan.cut_weight = part.cut_weight;
+  for (std::size_t q = 0; q < g.queues.size(); ++q) {
+    // The arena follows the consumer: its scan touches every segment of
+    // every shard, while each producer only writes its own chain tail.
+    plan.queue_node[q] =
+        static_cast<int>(plan.stage_node[g.queues[q].consumer]);
+  }
+  return plan;
+}
+
+}  // namespace hq

@@ -1,0 +1,79 @@
+// Deterministic greedy hypergraph partitioning for topology-aware queue
+// placement.
+//
+// A pipeline's static structure is a hypergraph: vertices are the stages
+// (task roles / producer shards), and every hyperqueue is a hyperedge over
+// the stages that touch it (its producers plus its consumer). Assigning
+// stages to NUMA nodes so that hot queues stay node-internal is exactly
+// balanced hypergraph partitioning with connectivity minimization; the
+// deterministic-parallel HGP line of work (Gottesbüren; Krause et al.,
+// PAPERS.md) shows determinism and quality can coexist, and determinism is
+// non-negotiable here — the placement feeds arena allocation and worker
+// pinning, and the runtime's byte-identical-output gates must hold for any
+// placement, reproducibly.
+//
+// The heuristic is greedy hypergraph growing: visit vertices by descending
+// incident weight (ties broken by a seeded splitmix64 hash, so the whole
+// partition is replayable from the seed alone) and put each on the block
+// where it has the most already-placed neighbors, subject to a balance
+// cap. Pure function of (graph, k, seed): no iteration-order or pointer
+// dependence anywhere.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace hq {
+
+struct hypergraph {
+  unsigned num_vertices = 0;
+  /// Vertex weights (balance constraint); empty = all 1.
+  std::vector<double> vertex_weight;
+  struct edge {
+    std::vector<unsigned> pins;  ///< vertices the hyperedge connects
+    double weight = 1.0;         ///< traffic carried (cut objective)
+  };
+  std::vector<edge> edges;
+};
+
+struct partition_result {
+  std::vector<unsigned> assignment;  ///< vertex -> block in [0, k)
+  double cut_weight = 0;       ///< total weight of edges spanning >1 block
+  double max_block_weight = 0; ///< heaviest block (balance check)
+};
+
+/// Partition `g` into `k` blocks. `eps` is the allowed imbalance: no block
+/// exceeds ceil(total/k) * (1+eps) unless a vertex alone does. Identical
+/// inputs (including `seed`) produce identical output on every run and
+/// platform.
+[[nodiscard]] partition_result partition_greedy(const hypergraph& g, unsigned k,
+                                                std::uint64_t seed,
+                                                double eps = 0.2);
+
+/// Static producer -> consumer attachment graph of a pipeline: the input
+/// the runtime actually has at queue-creation time.
+struct queue_graph {
+  unsigned num_stages = 0;
+  struct queue_desc {
+    std::vector<unsigned> producers;  ///< stages holding push attachments
+    unsigned consumer = 0;            ///< the (single) popping stage
+    double traffic = 1.0;             ///< relative element volume
+  };
+  std::vector<queue_desc> queues;
+};
+
+struct queue_plan {
+  std::vector<unsigned> stage_node;  ///< stage -> NUMA node
+  std::vector<int> queue_node;       ///< queue -> arena node (consumer's node)
+  double cut_weight = 0;             ///< traffic crossing nodes
+};
+
+/// Map a pipeline's stages and queue arenas onto `num_nodes` NUMA nodes.
+/// Each queue's arena follows its consumer (the consumer's scan walks every
+/// segment; producers touch only their own tail lines). Replayable from
+/// `seed`; single-node machines trivially map everything to node 0.
+[[nodiscard]] queue_plan plan_queue_placement(const queue_graph& g,
+                                              unsigned num_nodes,
+                                              std::uint64_t seed);
+
+}  // namespace hq
