@@ -12,6 +12,12 @@
 // Emits a JSON trajectory record (default BENCH_slice.json, override with
 // --json PATH) so the perf history populates run over run.
 //
+// The apps run through the declarative front-end: each measurement builds
+// the app's describe_pipeline graph and executes it on the hyperqueue (or
+// hyperqueue_element) backend of pipeline/runner.hpp — the same path the
+// conformance tests gate. Only the split-pipeline pool probe stays on its
+// hand-rolled variant (the split shape is not a linear chain).
+//
 // Knobs: --quick (smoke sizes), HQ_SLICE_BATCH (default 16).
 #include <algorithm>
 #include <cstdio>
@@ -23,6 +29,7 @@
 #include "apps/bzip2/bzip2.hpp"
 #include "apps/dedup/dedup.hpp"
 #include "apps/ferret/ferret.hpp"
+#include "pipeline/runner.hpp"
 #include "quick.hpp"
 #include "util/datagen.hpp"
 #include "util/table.hpp"
@@ -113,20 +120,19 @@ int main(int argc, char** argv) {
   auto bz_input = hq::util::gen_text(bz.input_bytes, bz.seed);
   auto bz_serial = hq::apps::bzip2::run_serial(bz, bz_input);
 
+  auto bz_run = [&](unsigned p, hq::pipe::backend b) {
+    auto c = bz;
+    c.threads = p;
+    hq::apps::bzip2::result r;
+    hq::pipe::graph g;
+    hq::apps::bzip2::describe_pipeline(c, bz_input, &r, g);
+    const auto ex = hq::pipe::execute(g, b, {.workers = p, .seed = c.seed});
+    return std::pair{ex.seconds, r.output == bz_serial.output};
+  };
   auto bz_rec = measure_app(
       "bzip2", reps,
-      [&](unsigned p) {
-        auto c = bz;
-        c.threads = p;
-        auto r = hq::apps::bzip2::run_hyperqueue_element(c, bz_input);
-        return std::pair{r.seconds, r.output == bz_serial.output};
-      },
-      [&](unsigned p) {
-        auto c = bz;
-        c.threads = p;
-        auto r = hq::apps::bzip2::run_hyperqueue(c, bz_input);
-        return std::pair{r.seconds, r.output == bz_serial.output};
-      });
+      [&](unsigned p) { return bz_run(p, hq::pipe::backend::hyperqueue_element); },
+      [&](unsigned p) { return bz_run(p, hq::pipe::backend::hyperqueue); });
   for (const auto& r : bz_rec.runs) all_ok = all_ok && r.ok;
   print_app(bz_rec);
 
@@ -178,20 +184,20 @@ int main(int argc, char** argv) {
   auto dd_input = hq::util::gen_archive(dd.input_bytes, dd.dup_fraction, dd.seed);
   auto dd_serial = hq::apps::dedup::run_serial(dd, dd_input);
 
+  auto dd_run = [&](unsigned p, hq::pipe::backend b) {
+    auto c = dd;
+    c.threads = p;
+    hq::apps::dedup::result r;
+    hq::apps::dedup::dedup_table table;
+    hq::pipe::graph g;
+    hq::apps::dedup::describe_pipeline(c, dd_input, &table, &r, g);
+    const auto ex = hq::pipe::execute(g, b, {.workers = p, .seed = c.seed});
+    return std::pair{ex.seconds, r.output == dd_serial.output};
+  };
   auto dd_rec = measure_app(
       "dedup", reps,
-      [&](unsigned p) {
-        auto c = dd;
-        c.threads = p;
-        auto r = hq::apps::dedup::run_hyperqueue_element(c, dd_input);
-        return std::pair{r.seconds, r.output == dd_serial.output};
-      },
-      [&](unsigned p) {
-        auto c = dd;
-        c.threads = p;
-        auto r = hq::apps::dedup::run_hyperqueue(c, dd_input);
-        return std::pair{r.seconds, r.output == dd_serial.output};
-      });
+      [&](unsigned p) { return dd_run(p, hq::pipe::backend::hyperqueue_element); },
+      [&](unsigned p) { return dd_run(p, hq::pipe::backend::hyperqueue); });
   for (const auto& r : dd_rec.runs) all_ok = all_ok && r.ok;
   print_app(dd_rec);
 
@@ -205,21 +211,21 @@ int main(int argc, char** argv) {
   fr.slice_batch = batch;
   fr.threads = 1;
   auto fr_serial = hq::apps::ferret::run_serial(fr);
+  const auto fr_db = hq::apps::ferret::build_db(fr);
 
+  auto fr_run = [&](unsigned p, hq::pipe::backend b) {
+    auto c = fr;
+    c.threads = p;
+    std::uint64_t checksum = 0;
+    hq::pipe::graph g;
+    hq::apps::ferret::describe_pipeline(c, fr_db, &checksum, g);
+    const auto ex = hq::pipe::execute(g, b, {.workers = p, .seed = c.seed});
+    return std::pair{ex.seconds, checksum == fr_serial.checksum};
+  };
   auto fr_rec = measure_app(
       "ferret", reps,
-      [&](unsigned p) {
-        auto c = fr;
-        c.threads = p;
-        auto r = hq::apps::ferret::run_hyperqueue_element(c);
-        return std::pair{r.seconds, r.checksum == fr_serial.checksum};
-      },
-      [&](unsigned p) {
-        auto c = fr;
-        c.threads = p;
-        auto r = hq::apps::ferret::run_hyperqueue(c);
-        return std::pair{r.seconds, r.checksum == fr_serial.checksum};
-      });
+      [&](unsigned p) { return fr_run(p, hq::pipe::backend::hyperqueue_element); },
+      [&](unsigned p) { return fr_run(p, hq::pipe::backend::hyperqueue); });
   for (const auto& r : fr_rec.runs) all_ok = all_ok && r.ok;
   print_app(fr_rec);
 

@@ -11,6 +11,10 @@
 #include <cstdint>
 #include <vector>
 
+namespace hq::pipe {
+class graph;
+}
+
 namespace hq::apps::bzip2 {
 
 struct config {
@@ -36,6 +40,12 @@ struct result {
 };
 
 result run_serial(const config& cfg, const std::vector<std::uint8_t>& input);
+/// Declarative 3-stage description (pipeline/builder.hpp): serial read ->
+/// parallel compress -> in-order write. The pthreads/tbb/hyperqueue
+/// variants below all execute this one graph; `cfg`, `input` and `r` must
+/// outlive the built graph.
+void describe_pipeline(const config& cfg, const std::vector<std::uint8_t>& input,
+                       result* r, pipe::graph& g);
 result run_pthreads(const config& cfg, const std::vector<std::uint8_t>& input);
 result run_tbb(const config& cfg, const std::vector<std::uint8_t>& input);
 result run_objects(const config& cfg, const std::vector<std::uint8_t>& input);

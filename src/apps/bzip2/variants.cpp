@@ -1,13 +1,18 @@
 // The bzip2 pipeline in all programming models. Output streams are
 // byte-identical (mbzip whole-stream format), so equality against the
 // serial stream verifies in-order writes.
-#include <atomic>
+//
+// The pthreads/tbb/hyperqueue variants share one declarative description
+// (describe_pipeline); only the serial reference, the task-dataflow
+// "objects" comparison and the Section 5.4/5.5 loop-split idiom — which
+// exercises owner-push and selective sync, shapes the front-end does not
+// model — remain hand-rolled.
+#include <algorithm>
 #include <memory>
 
 #include "apps/bzip2/bzip2.hpp"
 #include "hq.hpp"
-#include "pipeline/pthread_pipeline.hpp"
-#include "pipeline/tbb_pipeline.hpp"
+#include "pipeline/runner.hpp"
 #include "util/mbzip.hpp"
 #include "util/stats.hpp"
 
@@ -66,56 +71,71 @@ result run_serial(const config& cfg, const std::vector<std::uint8_t>& input) {
   return r;
 }
 
-// --------------------------------------------------------------- pthreads
+// ----------------------------------------------------- declarative pipeline
 
-result run_pthreads(const config& cfg, const std::vector<std::uint8_t>& input) {
-  util::stopwatch sw;
-  result r;
-  auto blocks = slice_blocks(cfg, input);
-  write_header(&r, blocks.size());
-
-  bounded_queue<block> q_comp(32);
-  pth::ordered_serial_stage<std::vector<std::uint8_t>> writer(
-      [&r](std::vector<std::uint8_t>&& comp) { write_block(&r, comp); });
-  pth::stage_pool<block> comp(q_comp, cfg.threads, [&](block&& b) {
-    writer.emit(b.seq, util::mbzip_compress_block(b.data.data(), b.data.size()));
+void describe_pipeline(const config& cfg, const std::vector<std::uint8_t>& input,
+                       result* r, pipe::graph& g) {
+  // The header write is ordered before the sink's first append on every
+  // backend: the sink only touches r->output after receiving a block that
+  // was emitted after the header write, and the inter-stage channel push
+  // synchronizes-with its pop.
+  auto read = g.source<block>("read", [&cfg, &input, r](pipe::emit<block> out) {
+    auto blocks = slice_blocks(cfg, input);
+    write_header(r, blocks.size());
+    for (auto& b : blocks) out(std::move(b));
   });
-  writer.start();
-  comp.start();
-  for (auto& b : blocks) q_comp.push(std::move(b));
-  q_comp.close();
-  comp.join();
-  writer.finish_and_join();
-  r.seconds = sw.seconds();
+  auto compress = g.stage<block, block>(
+      "compress", pipe::stage_kind::parallel,
+      [](block&& b, pipe::emit<block> out) {
+        b.data = util::mbzip_compress_block(b.data.data(), b.data.size());
+        out(std::move(b));
+      });
+  auto write = g.sink<block>("write", pipe::stage_kind::serial_in_order,
+                             [r](block&& b) { write_block(r, b.data); });
+
+  pipe::edge_opts opts;
+  opts.capacity = 32;  // the PARSEC-style bound the pthreads variant used
+  opts.slice_batch = cfg.slice_batch;
+  g.connect(read, compress, opts);
+  g.connect(compress, write, opts);
+}
+
+namespace {
+
+result run_declarative(const config& cfg, const std::vector<std::uint8_t>& input,
+                       pipe::backend b) {
+  result r;
+  pipe::graph g;
+  describe_pipeline(cfg, input, &r, g);
+  pipe::exec_options opt;
+  opt.workers = cfg.threads;
+  opt.seed = cfg.seed;
+  const pipe::exec_result ex = pipe::execute(g, b, opt);
+  r.seconds = ex.seconds;
+  r.seg_allocated = ex.pool.allocated;
+  r.seg_recycled = ex.pool.recycled;
+  r.seg_high_water = ex.pool.high_water;
+  r.peak_segments = std::max(r.peak_segments, ex.peak_segments);
   return r;
 }
 
-// -------------------------------------------------------------------- tbb
+}  // namespace
+
+result run_pthreads(const config& cfg, const std::vector<std::uint8_t>& input) {
+  return run_declarative(cfg, input, pipe::backend::pthreads);
+}
 
 result run_tbb(const config& cfg, const std::vector<std::uint8_t>& input) {
-  util::stopwatch sw;
-  result r;
-  auto blocks = slice_blocks(cfg, input);
-  write_header(&r, blocks.size());
-  std::size_t next = 0;
-  tbbpipe::pipeline p;
-  p.add_filter(tbbpipe::filter_mode::serial_in_order, [&](void*) -> void* {
-    if (next >= blocks.size()) return nullptr;
-    return new block(std::move(blocks[next++]));
-  });
-  p.add_filter(tbbpipe::filter_mode::parallel, [](void* v) -> void* {
-    auto* b = static_cast<block*>(v);
-    b->data = util::mbzip_compress_block(b->data.data(), b->data.size());
-    return b;
-  });
-  p.add_filter(tbbpipe::filter_mode::serial_in_order, [&](void* v) -> void* {
-    std::unique_ptr<block> b(static_cast<block*>(v));
-    write_block(&r, b->data);
-    return nullptr;
-  });
-  p.run(4 * cfg.threads, cfg.threads);
-  r.seconds = sw.seconds();
-  return r;
+  return run_declarative(cfg, input, pipe::backend::tbb);
+}
+
+result run_hyperqueue(const config& cfg, const std::vector<std::uint8_t>& input) {
+  return run_declarative(cfg, input, pipe::backend::hyperqueue);
+}
+
+result run_hyperqueue_element(const config& cfg,
+                              const std::vector<std::uint8_t>& input) {
+  return run_declarative(cfg, input, pipe::backend::hyperqueue_element);
 }
 
 // ---------------------------------------------------------------- objects
@@ -150,7 +170,7 @@ result run_objects(const config& cfg, const std::vector<std::uint8_t>& input) {
   return r;
 }
 
-// ------------------------------------------------------------- hyperqueue
+// ------------------------------------------------- hyperqueue (loop split)
 
 namespace {
 
@@ -166,48 +186,6 @@ void record_pool(result* r, const hyperqueue<block>& a,
       r->peak_segments, std::max(a.segments(), b.segments()));
 }
 
-// ---- element-at-a-time stages (the baseline the slice bench compares
-// against; Section 6.3's original one-value-per-push structure).
-
-void hq_reader_element(const config* cfg, const std::vector<std::uint8_t>* input,
-                       pushdep<block> q) {
-  auto blocks = slice_blocks(*cfg, *input);
-  for (auto& b : blocks) q.push(std::move(b));
-}
-
-void hq_compress_stage_element(popdep<block> in, pushdep<block> out) {
-  // Section 6.3: "The second stage's task performs a spawn for every
-  // element popped from the input queue... passing the output hyperqueue to
-  // each of these spawned functions allows them to execute in parallel
-  // while retaining the order of the elements."
-  while (!in.empty()) {
-    block b = in.pop();
-    spawn(
-        [](block work, pushdep<block> o) {
-          work.data = util::mbzip_compress_block(work.data.data(), work.data.size());
-          o.push(std::move(work));
-        },
-        std::move(b), out);
-  }
-  sync();
-}
-
-void hq_writer_element(result* r, popdep<block> q) {
-  while (!q.empty()) {
-    block b = q.pop();
-    write_block(r, b.data);
-  }
-}
-
-// ---- slice-based stages (Section 5.2): data moves through the queues in
-// contiguous batches, one spawn per batch instead of one per block.
-
-void hq_reader(const config* cfg, const std::vector<std::uint8_t>* input,
-               pushdep<block> q) {
-  auto blocks = slice_blocks(*cfg, *input);
-  push_slices(q, blocks.begin(), blocks.end(), cfg->slice_batch);
-}
-
 /// Compress one batch of blocks and stream them out through write slices.
 void hq_compress_batch(std::vector<block> work, std::size_t batch,
                        pushdep<block> out) {
@@ -215,21 +193,6 @@ void hq_compress_batch(std::vector<block> work, std::size_t batch,
     b.data = util::mbzip_compress_block(b.data.data(), b.data.size());
   }
   push_slices(out, work.begin(), work.end(), batch);
-}
-
-void hq_compress_stage(std::size_t batch, popdep<block> in, pushdep<block> out) {
-  // One spawn per read slice: the spawned batches execute in parallel while
-  // the hyperqueue keeps their output in spawn (= serial-elision) order.
-  for (;;) {
-    auto rs = in.get_read_slice(batch);
-    if (rs.empty()) break;  // definitive end of stream
-    std::vector<block> work;
-    work.reserve(rs.size());
-    for (auto& b : rs) work.push_back(std::move(b));
-    rs.release();
-    spawn(hq_compress_batch, std::move(work), batch, out);
-  }
-  sync();
 }
 
 void hq_writer(std::size_t batch, result* r, popdep<block> q) {
@@ -242,48 +205,6 @@ void hq_writer(std::size_t batch, result* r, popdep<block> q) {
 }
 
 }  // namespace
-
-result run_hyperqueue(const config& cfg, const std::vector<std::uint8_t>& input) {
-  util::stopwatch sw;
-  result r;
-  const std::size_t nblocks = (input.size() + cfg.block_bytes - 1) / cfg.block_bytes;
-  write_header(&r, nblocks);
-  scheduler sched(cfg.threads);
-  sched.run([&] {
-    // Segment length tracks the slice batch (Section 5.1) so a batch
-    // normally fits one contiguous grant.
-    hyperqueue<block> q_in(2 * cfg.slice_batch);
-    hyperqueue<block> q_out(2 * cfg.slice_batch);
-    spawn(hq_reader, &cfg, &input, (pushdep<block>)q_in);
-    spawn(hq_compress_stage, cfg.slice_batch, (popdep<block>)q_in,
-          (pushdep<block>)q_out);
-    spawn(hq_writer, cfg.slice_batch, &r, (popdep<block>)q_out);
-    sync();
-    record_pool(&r, q_in, q_out);
-  });
-  r.seconds = sw.seconds();
-  return r;
-}
-
-result run_hyperqueue_element(const config& cfg,
-                              const std::vector<std::uint8_t>& input) {
-  util::stopwatch sw;
-  result r;
-  const std::size_t nblocks = (input.size() + cfg.block_bytes - 1) / cfg.block_bytes;
-  write_header(&r, nblocks);
-  scheduler sched(cfg.threads);
-  sched.run([&] {
-    hyperqueue<block> q_in(16);
-    hyperqueue<block> q_out(16);
-    spawn(hq_reader_element, &cfg, &input, (pushdep<block>)q_in);
-    spawn(hq_compress_stage_element, (popdep<block>)q_in, (pushdep<block>)q_out);
-    spawn(hq_writer_element, &r, (popdep<block>)q_out);
-    sync();
-    record_pool(&r, q_in, q_out);
-  });
-  r.seconds = sw.seconds();
-  return r;
-}
 
 result run_hyperqueue_split(const config& cfg,
                             const std::vector<std::uint8_t>& input) {

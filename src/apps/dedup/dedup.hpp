@@ -21,6 +21,10 @@
 
 #include "util/sha1.hpp"
 
+namespace hq::pipe {
+class graph;
+}
+
 namespace hq::apps::dedup {
 
 struct config {
@@ -110,6 +114,12 @@ struct result {
 };
 
 result run_serial(const config& cfg, const std::vector<std::uint8_t>& input);
+/// Declarative Figure 9 description (pipeline/builder.hpp): fragment ->
+/// refine (variable-rate expand) -> dedup+compress -> in-order output. The
+/// pthreads/tbb/hyperqueue variants below all execute this one graph;
+/// `cfg`, `input`, `table` and `r` must outlive the built graph.
+void describe_pipeline(const config& cfg, const std::vector<std::uint8_t>& input,
+                       dedup_table* table, result* r, pipe::graph& g);
 result run_pthreads(const config& cfg, const std::vector<std::uint8_t>& input);
 result run_tbb(const config& cfg, const std::vector<std::uint8_t>& input);
 result run_objects(const config& cfg, const std::vector<std::uint8_t>& input);

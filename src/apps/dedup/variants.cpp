@@ -1,15 +1,17 @@
 // The five dedup implementations. The output stream is byte-identical
 // across all of them (first-occurrence-in-output-order carries the
 // payload), so equality against the serial stream is the correctness test.
+//
+// The pthreads/tbb/hyperqueue variants share one declarative description
+// (describe_pipeline) whose expand stage carries the paper's variable-rate
+// coarse->fine split; the serial reference and the task-dataflow "objects"
+// comparison remain hand-rolled.
 #include <algorithm>
-#include <map>
 #include <memory>
-#include <thread>
 
 #include "apps/dedup/dedup.hpp"
 #include "hq.hpp"
-#include "pipeline/pthread_pipeline.hpp"
-#include "pipeline/tbb_pipeline.hpp"
+#include "pipeline/runner.hpp"
 #include "util/stats.hpp"
 
 namespace hq::apps::dedup {
@@ -35,181 +37,112 @@ result run_serial(const config& cfg, const std::vector<std::uint8_t>& input) {
   return r;
 }
 
-// --------------------------------------------------------------- pthreads
+// ----------------------------------------------------- declarative pipeline
 
 namespace {
 
-/// Queue record for the pthreads version: either a fine chunk or the
-/// per-coarse-chunk count that lets the reorder stage detect completeness
-/// (PARSEC dedup uses the same two-level (L1, L2) sequence scheme).
-struct pth_rec {
-  bool is_count = false;
-  std::uint64_t coarse_seq = 0;
-  std::uint32_t count = 0;  // valid when is_count
-  chunk_rec chunk;          // valid when !is_count
-};
-
+/// One Fragment emission: a coarse chunk awaiting refinement.
 struct coarse_task {
-  std::uint64_t seq;
-  std::size_t off;
-  std::size_t len;
+  std::uint64_t seq = 0;
+  std::size_t off = 0;
+  std::size_t len = 0;
 };
 
 }  // namespace
 
-result run_pthreads(const config& cfg, const std::vector<std::uint8_t>& input) {
-  util::stopwatch sw;
+void describe_pipeline(const config& cfg, const std::vector<std::uint8_t>& input,
+                       dedup_table* table, result* r, pipe::graph& g) {
+  // Figure 9 as a declared chain: Fragment -> FragmentRefine (the
+  // variable-rate expand) -> Deduplicate+Compress -> Output. A duplicate's
+  // k_output may spin on its entry's `ready`; that wait always targets a
+  // stage activation that is actively compressing (never one blocked on
+  // channel capacity), because k_compress runs before the owner record is
+  // forwarded — so every backend makes progress at any worker count.
+  auto fragment =
+      g.source<coarse_task>("fragment", [&cfg, &input](pipe::emit<coarse_task> out) {
+        auto coarse = k_fragment(cfg, input.data(), input.size());
+        for (std::size_t i = 0; i < coarse.size(); ++i)
+          out(coarse_task{i, coarse[i].first, coarse[i].second});
+      });
+  auto refine = g.expand<coarse_task, chunk_rec>(
+      "refine", pipe::stage_kind::parallel,
+      [&cfg, &input](coarse_task&& t, pipe::emit<chunk_rec> out) {
+        auto chunks = k_refine(cfg, input.data(), t.off, t.len, t.seq);
+        for (auto& c : chunks) out(std::move(c));
+      });
+  auto dedup_compress = g.stage<chunk_rec, chunk_rec>(
+      "dedup_compress", pipe::stage_kind::parallel,
+      [table](chunk_rec&& c, pipe::emit<chunk_rec> out) {
+        k_dedup(table, &c);
+        if (c.owner) k_compress(&c);
+        out(std::move(c));
+      });
+  auto output = g.sink<chunk_rec>("output", pipe::stage_kind::serial_in_order,
+                                  [r](chunk_rec&& c) {
+                                    k_output(&r->output, &c);
+                                    ++r->total_chunks;
+                                  });
+
+  // Coarse tasks move in coarse_batch groups (the nested-pipeline batch of
+  // the hand-rolled variant); record edges keep the PARSEC queue bounds and
+  // the local-queue/write-queue segment sizes.
+  pipe::edge_opts frag_edge;
+  frag_edge.capacity = 32;
+  frag_edge.slice_batch = cfg.coarse_batch > 0 ? cfg.coarse_batch : 1;
+  g.connect(fragment, refine, frag_edge);
+
+  pipe::edge_opts refine_edge;
+  refine_edge.capacity = 256;
+  refine_edge.slice_batch = cfg.slice_batch;
+  refine_edge.segment_length = 64;
+  refine_edge.traffic = 8.0;  // many fine records per coarse chunk
+  g.connect(refine, dedup_compress, refine_edge);
+
+  pipe::edge_opts out_edge;
+  out_edge.capacity = 256;
+  out_edge.slice_batch = cfg.slice_batch;
+  out_edge.segment_length = 256;
+  out_edge.traffic = 8.0;
+  g.connect(dedup_compress, output, out_edge);
+}
+
+namespace {
+
+result run_declarative(const config& cfg, const std::vector<std::uint8_t>& input,
+                       pipe::backend b) {
   result r;
   dedup_table table;
-
-  auto coarse = k_fragment(cfg, input.data(), input.size());
-  const std::uint64_t total_coarse = coarse.size();
-
-  bounded_queue<coarse_task> q_refine(32);
-  bounded_queue<pth_rec> q_dedup(256);
-  bounded_queue<chunk_rec> q_compress(256);
-  bounded_queue<pth_rec> q_out(256);
-
-  pth::stage_pool<coarse_task> refine(q_refine, cfg.threads, [&](coarse_task&& t) {
-    auto chunks = k_refine(cfg, input.data(), t.off, t.len, t.seq);
-    pth_rec count;
-    count.is_count = true;
-    count.coarse_seq = t.seq;
-    count.count = static_cast<std::uint32_t>(chunks.size());
-    for (auto& c : chunks) {
-      pth_rec rec;
-      rec.chunk = std::move(c);
-      q_dedup.push(std::move(rec));
-    }
-    q_out.push(std::move(count));
-  });
-
-  pth::stage_pool<pth_rec> dedup_stage(q_dedup, cfg.threads, [&](pth_rec&& rec) {
-    k_dedup(&table, &rec.chunk);
-    if (rec.chunk.owner) {
-      q_compress.push(std::move(rec.chunk));
-    } else {
-      q_out.push(std::move(rec));
-    }
-  });
-
-  pth::stage_pool<chunk_rec> compress(q_compress, cfg.threads, [&](chunk_rec&& c) {
-    k_compress(&c);
-    pth_rec rec;
-    rec.chunk = std::move(c);
-    q_out.push(std::move(rec));
-  });
-
-  // Output/reorder: single thread, two-level (coarse, fine) ordering with
-  // completeness detection via the count records.
-  std::thread output([&] {
-    std::map<std::pair<std::uint64_t, std::uint64_t>, chunk_rec> pending;
-    std::map<std::uint64_t, std::uint32_t> counts;
-    std::uint64_t next_c = 0, next_f = 0;
-    while (next_c < total_coarse) {
-      auto rec = q_out.pop();
-      if (!rec) break;  // closed early (should not happen)
-      if (rec->is_count) {
-        counts[rec->coarse_seq] = rec->count;
-      } else {
-        pending.emplace(std::make_pair(rec->chunk.coarse_seq, rec->chunk.fine_seq),
-                        std::move(rec->chunk));
-      }
-      for (;;) {
-        auto cit = counts.find(next_c);
-        if (cit != counts.end() && next_f == cit->second) {
-          counts.erase(cit);
-          ++next_c;
-          next_f = 0;
-          continue;
-        }
-        auto pit = pending.find({next_c, next_f});
-        if (pit == pending.end()) break;
-        k_output(&r.output, &pit->second);
-        ++r.total_chunks;
-        pending.erase(pit);
-        ++next_f;
-      }
-    }
-  });
-
-  refine.start();
-  dedup_stage.start();
-  compress.start();
-
-  // Fragment stage runs on the driver thread.
-  for (std::size_t i = 0; i < coarse.size(); ++i) {
-    q_refine.push(coarse_task{i, coarse[i].first, coarse[i].second});
-  }
-  q_refine.close();
-  refine.join();
-  q_dedup.close();
-  dedup_stage.join();
-  q_compress.close();
-  compress.join();
-  output.join();
-  q_out.close();
-
+  pipe::graph g;
+  describe_pipeline(cfg, input, &table, &r, g);
+  pipe::exec_options opt;
+  opt.workers = cfg.threads;
+  opt.seed = cfg.seed;
+  const pipe::exec_result ex = pipe::execute(g, b, opt);
+  r.seconds = ex.seconds;
+  r.seg_allocated = ex.pool.allocated;
+  r.seg_recycled = ex.pool.recycled;
+  r.seg_high_water = ex.pool.high_water;
   r.unique_chunks = table.unique_chunks();
-  r.seconds = sw.seconds();
   return r;
 }
 
-// -------------------------------------------------------------------- tbb
+}  // namespace
+
+result run_pthreads(const config& cfg, const std::vector<std::uint8_t>& input) {
+  return run_declarative(cfg, input, pipe::backend::pthreads);
+}
 
 result run_tbb(const config& cfg, const std::vector<std::uint8_t>& input) {
-  // Nested-pipeline structure of Reed et al. (paper Figure 10a): the token
-  // is a coarse chunk; all its fine chunks are gathered into a list before
-  // the serial output stage may proceed — the wait-for-whole-list
-  // limitation the hyperqueue removes.
-  util::stopwatch sw;
-  result r;
-  dedup_table table;
-  auto coarse = k_fragment(cfg, input.data(), input.size());
-  std::size_t next = 0;
+  return run_declarative(cfg, input, pipe::backend::tbb);
+}
 
-  struct token_data {
-    std::uint64_t seq;
-    std::size_t off, len;
-    std::vector<chunk_rec> chunks;
-  };
+result run_hyperqueue(const config& cfg, const std::vector<std::uint8_t>& input) {
+  return run_declarative(cfg, input, pipe::backend::hyperqueue);
+}
 
-  tbbpipe::pipeline p;
-  p.add_filter(tbbpipe::filter_mode::serial_in_order, [&](void*) -> void* {
-    if (next >= coarse.size()) return nullptr;
-    auto* t = new token_data;
-    t->seq = next;
-    t->off = coarse[next].first;
-    t->len = coarse[next].second;
-    ++next;
-    return t;
-  });
-  p.add_filter(tbbpipe::filter_mode::parallel, [&](void* v) -> void* {
-    auto* t = static_cast<token_data*>(v);
-    t->chunks = k_refine(cfg, input.data(), t->off, t->len, t->seq);
-    return t;
-  });
-  p.add_filter(tbbpipe::filter_mode::parallel, [&](void* v) -> void* {
-    auto* t = static_cast<token_data*>(v);
-    for (auto& c : t->chunks) {
-      k_dedup(&table, &c);
-      if (c.owner) k_compress(&c);
-    }
-    return t;
-  });
-  p.add_filter(tbbpipe::filter_mode::serial_in_order, [&](void* v) -> void* {
-    std::unique_ptr<token_data> t(static_cast<token_data*>(v));
-    for (auto& c : t->chunks) {
-      k_output(&r.output, &c);
-      ++r.total_chunks;
-    }
-    return nullptr;
-  });
-  p.run(4 * cfg.threads, cfg.threads);
-
-  r.unique_chunks = table.unique_chunks();
-  r.seconds = sw.seconds();
-  return r;
+result run_hyperqueue_element(const config& cfg,
+                              const std::vector<std::uint8_t>& input) {
+  return run_declarative(cfg, input, pipe::backend::hyperqueue_element);
 }
 
 // ---------------------------------------------------------------- objects
@@ -253,204 +186,6 @@ result run_objects(const config& cfg, const std::vector<std::uint8_t>& input) {
           (inoutdep<std::uint64_t>)out_token);
     }
     sync();
-  });
-  r.unique_chunks = table.unique_chunks();
-  r.seconds = sw.seconds();
-  return r;
-}
-
-// ------------------------------------------------------------- hyperqueue
-
-namespace {
-
-using coarse_list = std::vector<std::pair<std::size_t, std::size_t>>;
-
-// ---- element-at-a-time stages (baseline for the slice bench).
-
-void hq_refine_element(const config* cfg, const std::uint8_t* base,
-                       const coarse_list* coarse, std::size_t lo,
-                       std::size_t hi, pushdep<chunk_rec> out) {
-  for (std::size_t i = lo; i < hi; ++i) {
-    auto chunks =
-        k_refine(*cfg, base, (*coarse)[i].first, (*coarse)[i].second, i);
-    for (auto& c : chunks) out.push(std::move(c));
-  }
-}
-
-void hq_dedup_compress_element(dedup_table* table, popdep<chunk_rec> in,
-                               pushdep<chunk_rec> out) {
-  // Unrestructured shape (like ferret's element dispatch): one
-  // Deduplicate+Compress task per refine chunk, each attaching to the
-  // shared write queue for its single record. Records still reach the
-  // write queue in pop order because hyperqueue pushes are ordered by
-  // spawn. The slice pipeline replaces this with one merged task whose
-  // write-queue attachment is reused across the whole batch (the paper's
-  // task coarsening) — per-refine-chunk attach churn is what it amortizes.
-  while (!in.empty()) {
-    chunk_rec c = in.pop();
-    spawn(
-        [table](chunk_rec work, pushdep<chunk_rec> o) {
-          k_dedup(table, &work);
-          if (work.owner) k_compress(&work);
-          o.push(std::move(work));
-        },
-        std::move(c), out);
-  }
-}
-
-void hq_output_element(result* r, popdep<chunk_rec> q) {
-  while (!q.empty()) {
-    chunk_rec c = q.pop();
-    k_output(&r->output, &c);
-    ++r->total_chunks;
-  }
-}
-
-// ---- slice-based stages (Section 5.2, the default).
-
-void hq_refine(const config* cfg, const std::uint8_t* base,
-               const coarse_list* coarse, std::size_t lo, std::size_t hi,
-               pushdep<chunk_rec> out) {
-  for (std::size_t i = lo; i < hi; ++i) {
-    auto chunks =
-        k_refine(*cfg, base, (*coarse)[i].first, (*coarse)[i].second, i);
-    push_slices(out, chunks.begin(), chunks.end(), cfg->slice_batch);
-  }
-}
-
-void hq_dedup_compress(const config* cfg, dedup_table* table,
-                       popdep<chunk_rec> in, pushdep<chunk_rec> out) {
-  // Process each read slice in place (the consumer owns the elements until
-  // release), then move the batch onto the shared write queue through write
-  // slices — record order is preserved end to end.
-  for (;;) {
-    auto rs = in.get_read_slice(cfg->slice_batch);
-    if (rs.empty()) break;
-    for (auto& c : rs) {
-      k_dedup(table, &c);
-      if (c.owner) k_compress(&c);
-    }
-    push_slices(out, rs.begin(), rs.end(), rs.size());
-    rs.release();
-  }
-}
-
-void hq_output(const config* cfg, result* r, popdep<chunk_rec> q) {
-  for (;;) {
-    auto rs = q.get_read_slice(cfg->slice_batch);
-    if (rs.empty()) break;
-    for (auto& c : rs) {
-      k_output(&r->output, &c);
-      ++r->total_chunks;
-    }
-    rs.release();
-  }
-}
-
-template <typename RefineFn, typename DedupFn>
-void hq_fragment_generic(const config* cfg,
-                         const std::vector<std::uint8_t>* input,
-                         dedup_table* table, pushdep<chunk_rec> write_queue,
-                         RefineFn refine, DedupFn dedup) {
-  // Figure 10(c): nested pipelines (local queue + two tasks) pushing to the
-  // shared write queue in program order. Each pipeline serves a batch of
-  // cfg->coarse_batch consecutive coarse chunks, so one queue construction
-  // and one refine/dedup attachment pair amortize over the whole batch's
-  // record stream (per-coarse-chunk pipelines drowned the Section 5.2 slice
-  // savings in setup churn). The write-queue order is unchanged: dedup
-  // tasks are spawned in batch order and each streams its batch's records
-  // in (coarse, fine) order. The local queues are owned by this task; they
-  // are destroyed after the sync (the paper's sketch leaks them — see
-  // DESIGN.md).
-  auto coarse = k_fragment(*cfg, input->data(), input->size());
-  const std::size_t batch = cfg->coarse_batch > 0 ? cfg->coarse_batch : 1;
-  const std::size_t pipelines = (coarse.size() + batch - 1) / batch;
-  std::vector<std::unique_ptr<hyperqueue<chunk_rec>>> locals;
-  locals.reserve(pipelines);
-  for (std::size_t b = 0; b < pipelines; ++b) {
-    const std::size_t lo = b * batch;
-    const std::size_t hi = std::min(coarse.size(), lo + batch);
-    locals.push_back(std::make_unique<hyperqueue<chunk_rec>>(64));
-    hyperqueue<chunk_rec>& q = *locals.back();
-    refine(cfg, input, &coarse, lo, hi, q);
-    dedup(cfg, table, q, write_queue);
-  }
-  sync();
-  locals.clear();
-}
-
-void hq_fragment(const config* cfg, const std::vector<std::uint8_t>* input,
-                 dedup_table* table, pushdep<chunk_rec> write_queue) {
-  hq_fragment_generic(
-      cfg, input, table, write_queue,
-      [](const config* c, const std::vector<std::uint8_t>* in,
-         const coarse_list* coarse, std::size_t lo, std::size_t hi,
-         hyperqueue<chunk_rec>& q) {
-        spawn(hq_refine, c, in->data(), coarse, lo, hi, (pushdep<chunk_rec>)q);
-      },
-      [](const config* c, dedup_table* t, hyperqueue<chunk_rec>& q,
-         pushdep<chunk_rec> wq) {
-        spawn(hq_dedup_compress, c, t, (popdep<chunk_rec>)q, wq);
-      });
-}
-
-void hq_fragment_element(const config* cfg,
-                         const std::vector<std::uint8_t>* input,
-                         dedup_table* table, pushdep<chunk_rec> write_queue) {
-  hq_fragment_generic(
-      cfg, input, table, write_queue,
-      [](const config* c, const std::vector<std::uint8_t>* in,
-         const coarse_list* coarse, std::size_t lo, std::size_t hi,
-         hyperqueue<chunk_rec>& q) {
-        spawn(hq_refine_element, c, in->data(), coarse, lo, hi,
-              (pushdep<chunk_rec>)q);
-      },
-      [](const config* c, dedup_table* t, hyperqueue<chunk_rec>& q,
-         pushdep<chunk_rec> wq) {
-        (void)c;
-        spawn(hq_dedup_compress_element, t, (popdep<chunk_rec>)q, wq);
-      });
-}
-
-void record_pool(result* r, const hyperqueue<chunk_rec>& q) {
-  const auto st = q.pool_stats();
-  r->seg_allocated = st.allocated;
-  r->seg_recycled = st.recycled;
-  r->seg_high_water = st.high_water;
-}
-
-}  // namespace
-
-result run_hyperqueue(const config& cfg, const std::vector<std::uint8_t>& input) {
-  util::stopwatch sw;
-  result r;
-  dedup_table table;
-  scheduler sched(cfg.threads);
-  sched.run([&] {
-    hyperqueue<chunk_rec> write_queue(256);
-    spawn(hq_fragment, &cfg, &input, &table, (pushdep<chunk_rec>)write_queue);
-    spawn(hq_output, &cfg, &r, (popdep<chunk_rec>)write_queue);
-    sync();
-    record_pool(&r, write_queue);
-  });
-  r.unique_chunks = table.unique_chunks();
-  r.seconds = sw.seconds();
-  return r;
-}
-
-result run_hyperqueue_element(const config& cfg,
-                              const std::vector<std::uint8_t>& input) {
-  util::stopwatch sw;
-  result r;
-  dedup_table table;
-  scheduler sched(cfg.threads);
-  sched.run([&] {
-    hyperqueue<chunk_rec> write_queue(256);
-    spawn(hq_fragment_element, &cfg, &input, &table,
-          (pushdep<chunk_rec>)write_queue);
-    spawn(hq_output_element, &r, (popdep<chunk_rec>)write_queue);
-    sync();
-    record_pool(&r, write_queue);
   });
   r.unique_chunks = table.unique_chunks();
   r.seconds = sw.seconds();

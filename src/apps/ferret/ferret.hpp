@@ -16,6 +16,10 @@
 
 #include "util/datagen.hpp"
 
+namespace hq::pipe {
+class graph;
+}
+
 namespace hq::apps::ferret {
 
 struct config {
@@ -80,6 +84,12 @@ struct result {
 };
 
 result run_serial(const config& cfg);
+/// Declarative 3-stage description (pipeline/builder.hpp): serial input ->
+/// fused parallel middle (segment+extract+vector+rank) -> in-order output.
+/// The pthreads/tbb/hyperqueue variants below all execute this one graph;
+/// `cfg`, `db` and `checksum` must outlive the built graph.
+void describe_pipeline(const config& cfg, const feature_db& db,
+                       std::uint64_t* checksum, pipe::graph& g);
 result run_pthreads(const config& cfg);
 result run_tbb(const config& cfg);
 result run_objects(const config& cfg);     // task dataflow, input not overlapped

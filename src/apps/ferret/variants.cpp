@@ -1,12 +1,18 @@
 // The five ferret implementations. All must produce the serial checksum:
 // the output stage is order-sensitive, so this verifies in-order delivery.
-#include <atomic>
+//
+// The pthreads/tbb/hyperqueue variants share one declarative description
+// (describe_pipeline) with the four middle kernels fused into a single
+// parallel stage — the shape the hand-rolled hyperqueue variant used. (The
+// PARSEC pthreads build ran four separate pools; the fused stage gives the
+// pthreads baseline one pool of `threads` workers instead, see README.)
+// Only the serial reference and the task-dataflow "objects" comparison
+// remain hand-rolled.
 #include <memory>
 
 #include "apps/ferret/ferret.hpp"
 #include "hq.hpp"
-#include "pipeline/pthread_pipeline.hpp"
-#include "pipeline/tbb_pipeline.hpp"
+#include "pipeline/runner.hpp"
 #include "util/stats.hpp"
 
 namespace hq::apps::ferret {
@@ -46,102 +52,72 @@ result run_serial(const config& cfg) {
   return {checksum, sw.seconds()};
 }
 
-// --------------------------------------------------------------- pthreads
+// ----------------------------------------------------- declarative pipeline
 
-result run_pthreads(const config& cfg) {
-  feature_db db = build_db(cfg);
-  util::stopwatch sw;
-
-  // PARSEC-style: per-stage thread pools joined by bounded queues, with the
-  // per-stage thread counts as explicit tuning knobs (we give every parallel
-  // stage `threads` threads — the oversubscription the paper describes).
-  bounded_queue<item> q_seg(64), q_ext(64), q_vec(64), q_rank(64);
-  std::uint64_t checksum = 0;
-  pth::ordered_serial_stage<item> output(
-      [&checksum](item&& it) { k_output(&checksum, it); });
-
-  pth::stage_pool<item> seg(q_seg, cfg.threads, [&](item&& it) {
-    k_segment(cfg, &it);
-    q_ext.push(std::move(it));
+void describe_pipeline(const config& cfg, const feature_db& db,
+                       std::uint64_t* checksum, pipe::graph& g) {
+  // Input stays push-style (directory traversal emitting images as
+  // discovered — the programmability point of Section 6.1); the middle
+  // four kernels run fused in one parallel stage; output folds the
+  // checksum strictly in traversal order.
+  auto input = g.source<item>("input", [&cfg](pipe::emit<item> out) {
+    auto files = traversal_order(cfg);
+    for (std::size_t i = 0; i < files.size(); ++i) {
+      item it = make_item(cfg, i, files[i]);
+      k_load(cfg, &it);
+      out(std::move(it));
+    }
   });
-  pth::stage_pool<item> ext(q_ext, cfg.threads, [&](item&& it) {
-    k_extract(cfg, &it);
-    q_vec.push(std::move(it));
-  });
-  pth::stage_pool<item> vec(q_vec, cfg.threads, [&](item&& it) {
-    k_vector(cfg, &it);
-    q_rank.push(std::move(it));
-  });
-  pth::stage_pool<item> rank(q_rank, cfg.threads, [&](item&& it) {
-    k_rank(cfg, db, &it);
-    output.emit(it.seq, std::move(it));
-  });
+  auto middle = g.stage<item, item>(
+      "middle", pipe::stage_kind::parallel,
+      [&cfg, &db](item&& it, pipe::emit<item> out) {
+        process_middle(cfg, db, &it);
+        out(std::move(it));
+      });
+  auto output = g.sink<item>("output", pipe::stage_kind::serial_in_order,
+                             [checksum](item&& it) { k_output(checksum, it); });
 
-  output.start();
-  seg.start();
-  ext.start();
-  vec.start();
-  rank.start();
-
-  // Input stage: recursive traversal pushing files as discovered — the
-  // natural pthreads structure the paper highlights.
-  auto files = traversal_order(cfg);
-  for (std::size_t i = 0; i < files.size(); ++i) {
-    item it = make_item(cfg, i, files[i]);
-    k_load(cfg, &it);
-    q_seg.push(std::move(it));
-  }
-  q_seg.close();
-  seg.join();
-  q_ext.close();
-  ext.join();
-  q_vec.close();
-  vec.join();
-  q_rank.close();
-  rank.join();
-  output.finish_and_join();
-  return {checksum, sw.seconds()};
+  pipe::edge_opts opts;
+  opts.capacity = 64;  // the PARSEC-style bound the pthreads variant used
+  opts.slice_batch = cfg.slice_batch;
+  g.connect(input, middle, opts);
+  g.connect(middle, output, opts);
 }
 
-// -------------------------------------------------------------------- tbb
+namespace {
+
+result run_declarative(const config& cfg, pipe::backend b) {
+  feature_db db = build_db(cfg);
+  result r;
+  pipe::graph g;
+  describe_pipeline(cfg, db, &r.checksum, g);
+  pipe::exec_options opt;
+  opt.workers = cfg.threads;
+  opt.seed = cfg.seed;
+  const pipe::exec_result ex = pipe::execute(g, b, opt);
+  r.seconds = ex.seconds;
+  r.seg_allocated = ex.pool.allocated;
+  r.seg_recycled = ex.pool.recycled;
+  r.seg_high_water = ex.pool.high_water;
+  return r;
+}
+
+}  // namespace
+
+result run_pthreads(const config& cfg) {
+  return run_declarative(cfg, pipe::backend::pthreads);
+}
 
 result run_tbb(const config& cfg) {
-  feature_db db = build_db(cfg);
-  util::stopwatch sw;
+  return run_declarative(cfg, pipe::backend::tbb);
+}
 
-  // TBB requires the input stage restructured into a repeatedly-callable
-  // function with explicit traversal state (paper Section 6.1: "tedious and
-  // error-prone"). Here the state is the pre-flattened list index.
-  auto files = traversal_order(cfg);
-  std::size_t next = 0;
-  std::uint64_t checksum = 0;
+result run_hyperqueue(const config& cfg) {
+  return run_declarative(cfg, pipe::backend::hyperqueue);
+}
 
-  tbbpipe::pipeline p;
-  p.add_filter(tbbpipe::filter_mode::serial_in_order, [&](void*) -> void* {
-    if (next >= files.size()) return nullptr;
-    auto* it = new item(make_item(cfg, next, files[next]));
-    ++next;
-    k_load(cfg, it);
-    return it;
-  });
-  auto parallel_stage = [&p](auto fn) {
-    p.add_filter(tbbpipe::filter_mode::parallel, [fn](void* v) -> void* {
-      auto* it = static_cast<item*>(v);
-      fn(it);
-      return it;
-    });
-  };
-  parallel_stage([&cfg](item* it) { k_segment(cfg, it); });
-  parallel_stage([&cfg](item* it) { k_extract(cfg, it); });
-  parallel_stage([&cfg](item* it) { k_vector(cfg, it); });
-  parallel_stage([&cfg, &db](item* it) { k_rank(cfg, db, it); });
-  p.add_filter(tbbpipe::filter_mode::serial_in_order, [&](void* v) -> void* {
-    std::unique_ptr<item> it(static_cast<item*>(v));
-    k_output(&checksum, *it);
-    return nullptr;
-  });
-  p.run(/*max_tokens=*/4 * cfg.threads, cfg.threads);
-  return {checksum, sw.seconds()};
+result run_hyperqueue_element(const config& cfg) {
+  return run_declarative(cfg, pipe::backend::hyperqueue_element);
 }
 
 // ---------------------------------------------------------------- objects
@@ -173,145 +149,6 @@ result run_objects(const config& cfg) {
     sync();
   });
   return {checksum, sw.seconds()};
-}
-
-// ------------------------------------------------------------- hyperqueue
-
-namespace {
-
-// ---- element-at-a-time stages (baseline for the slice bench).
-
-void hq_input_element(const config* cfg, pushdep<item> q) {
-  // Directory traversal pushing images as discovered, unrestructured —
-  // the programmability point of Section 6.1.
-  auto files = traversal_order(*cfg);
-  for (std::size_t i = 0; i < files.size(); ++i) {
-    item it = make_item(*cfg, i, files[i]);
-    k_load(*cfg, &it);
-    q.push(std::move(it));
-  }
-}
-
-void hq_dispatch_element(const config* cfg, const feature_db* db,
-                         popdep<item> in, pushdep<item> out) {
-  // Pop each image and spawn its (parallel) middle stages; results appear
-  // on `out` in pop order because hyperqueue pushes are ordered by spawn.
-  while (!in.empty()) {
-    item it = in.pop();
-    spawn(
-        [cfg, db](item work, pushdep<item> o) {
-          process_middle(*cfg, *db, &work);
-          o.push(std::move(work));
-        },
-        std::move(it), out);
-  }
-  sync();
-}
-
-void hq_output_element(std::uint64_t* checksum, popdep<item> q) {
-  // One large task iterating the queue (avoids many tiny output tasks —
-  // exactly the design described for ferret's output hyperqueue).
-  while (!q.empty()) {
-    item it = q.pop();
-    k_output(checksum, it);
-  }
-}
-
-// ---- slice-based stages (Section 5.2, the default): images move through
-// the queues in contiguous batches, one spawn per batch instead of one per
-// image.
-
-void hq_input(const config* cfg, pushdep<item> q) {
-  auto files = traversal_order(*cfg);
-  std::size_t i = 0;
-  while (i < files.size()) {
-    auto ws = q.get_write_slice(
-        std::min(cfg->slice_batch, files.size() - i));
-    const std::size_t n = ws.size();
-    for (std::size_t k = 0; k < n; ++k) {
-      item it = make_item(*cfg, i + k, files[i + k]);
-      k_load(*cfg, &it);
-      ws.emplace(k, std::move(it));
-    }
-    i += n;
-    ws.commit();
-  }
-}
-
-void hq_middle_batch(const config* cfg, const feature_db* db,
-                     std::vector<item> work, pushdep<item> out) {
-  for (auto& it : work) process_middle(*cfg, *db, &it);
-  push_slices(out, work.begin(), work.end(), work.size());
-}
-
-void hq_dispatch(const config* cfg, const feature_db* db, popdep<item> in,
-                 pushdep<item> out) {
-  // One spawn per read slice; batch results land on `out` in spawn order.
-  for (;;) {
-    auto rs = in.get_read_slice(cfg->slice_batch);
-    if (rs.empty()) break;
-    std::vector<item> work;
-    work.reserve(rs.size());
-    for (auto& it : rs) work.push_back(std::move(it));
-    rs.release();
-    spawn(hq_middle_batch, cfg, db, std::move(work), out);
-  }
-  sync();
-}
-
-void hq_output(const config* cfg, std::uint64_t* checksum, popdep<item> q) {
-  for (;;) {
-    auto rs = q.get_read_slice(cfg->slice_batch);
-    if (rs.empty()) break;
-    for (const item& it : rs) k_output(checksum, it);
-    rs.release();
-  }
-}
-
-void record_pool(result* r, const hyperqueue<item>& a, const hyperqueue<item>& b) {
-  const auto st = a.pool_stats() + b.pool_stats();
-  r->seg_allocated = st.allocated;
-  r->seg_recycled = st.recycled;
-  r->seg_high_water = st.high_water;
-}
-
-}  // namespace
-
-result run_hyperqueue(const config& cfg) {
-  feature_db db = build_db(cfg);
-  util::stopwatch sw;
-  result r;
-  scheduler sched(cfg.threads);
-  sched.run([&] {
-    hyperqueue<item> q_in(2 * cfg.slice_batch);
-    hyperqueue<item> q_out(2 * cfg.slice_batch);
-    spawn(hq_input, &cfg, (pushdep<item>)q_in);
-    spawn(hq_dispatch, &cfg, &db, (popdep<item>)q_in, (pushdep<item>)q_out);
-    spawn(hq_output, &cfg, &r.checksum, (popdep<item>)q_out);
-    sync();
-    record_pool(&r, q_in, q_out);
-  });
-  r.seconds = sw.seconds();
-  return r;
-}
-
-result run_hyperqueue_element(const config& cfg) {
-  feature_db db = build_db(cfg);
-  util::stopwatch sw;
-  result r;
-  scheduler sched(cfg.threads);
-  sched.run([&] {
-    hyperqueue<item> q_in(64);
-    hyperqueue<item> q_out(64);
-    spawn(hq_input_element, &cfg, (pushdep<item>)q_in);
-    spawn(hq_dispatch_element, &cfg, &db, (popdep<item>)q_in,
-          (pushdep<item>)q_out);
-    spawn(hq_output_element, &r.checksum, (popdep<item>)q_out);
-    sync();
-    record_pool(&r, q_in, q_out);
-  });
-  r.seconds = sw.seconds();
-  return r;
 }
 
 }  // namespace hq::apps::ferret

@@ -1,0 +1,111 @@
+// Built-in app registrations for the generic pipeline runner.
+//
+// Each app_instance owns its config, synthesized input and result for one
+// run; describe() forwards to the app's describe_pipeline and digest()
+// renders the output the equality gate compares (byte stream for
+// bzip2/dedup, checksum for ferret). Sizes: quick = test-scale inputs
+// (conformance matrix, sanitizer CI), full = bench-scale.
+#include <mutex>
+#include <string>
+
+#include "apps/bzip2/bzip2.hpp"
+#include "apps/dedup/dedup.hpp"
+#include "apps/ferret/ferret.hpp"
+#include "pipeline/runner.hpp"
+#include "util/datagen.hpp"
+
+namespace hq::pipe {
+
+namespace {
+
+class bzip2_app final : public app_instance {
+ public:
+  explicit bzip2_app(const app_params& p) {
+    cfg_.input_bytes = p.quick ? (256u << 10) : (2u << 20);
+    cfg_.block_bytes = p.quick ? (8u << 10) : (32u << 10);
+    cfg_.threads = p.workers;
+    cfg_.seed ^= p.seed;
+    input_ = util::gen_text(cfg_.input_bytes, cfg_.seed);
+  }
+  void describe(graph& g) override {
+    apps::bzip2::describe_pipeline(cfg_, input_, &r_, g);
+  }
+  [[nodiscard]] std::string digest() const override {
+    return {r_.output.begin(), r_.output.end()};
+  }
+
+ private:
+  apps::bzip2::config cfg_;
+  std::vector<std::uint8_t> input_;
+  apps::bzip2::result r_;
+};
+
+class dedup_app final : public app_instance {
+ public:
+  explicit dedup_app(const app_params& p) {
+    cfg_.input_bytes = p.quick ? (1u << 20) : (4u << 20);
+    cfg_.coarse_bytes = 64u << 10;
+    cfg_.fine_avg_log2 = 11;
+    cfg_.fine_min = 256;
+    cfg_.fine_max = 8u << 10;
+    cfg_.threads = p.workers;
+    cfg_.seed ^= p.seed;
+    input_ = util::gen_archive(cfg_.input_bytes, cfg_.dup_fraction, cfg_.seed);
+  }
+  void describe(graph& g) override {
+    apps::dedup::describe_pipeline(cfg_, input_, &table_, &r_, g);
+  }
+  [[nodiscard]] std::string digest() const override {
+    return {r_.output.begin(), r_.output.end()};
+  }
+
+ private:
+  apps::dedup::config cfg_;
+  std::vector<std::uint8_t> input_;
+  apps::dedup::dedup_table table_;
+  apps::dedup::result r_;
+};
+
+class ferret_app final : public app_instance {
+ public:
+  explicit ferret_app(const app_params& p) {
+    cfg_.num_images = p.quick ? 96 : 1024;
+    cfg_.image_wh = 16;
+    cfg_.db_entries = 256;
+    cfg_.dims = 32;
+    cfg_.topk = 8;
+    cfg_.threads = p.workers;
+    cfg_.seed ^= p.seed;
+    db_ = apps::ferret::build_db(cfg_);
+  }
+  void describe(graph& g) override {
+    apps::ferret::describe_pipeline(cfg_, db_, &checksum_, g);
+  }
+  [[nodiscard]] std::string digest() const override {
+    return std::to_string(checksum_);
+  }
+
+ private:
+  apps::ferret::config cfg_;
+  apps::ferret::feature_db db_;
+  std::uint64_t checksum_ = 0;
+};
+
+}  // namespace
+
+void ensure_builtin_apps() {
+  static std::once_flag once;
+  std::call_once(once, [] {
+    register_app("bzip2", [](const app_params& p) {
+      return std::unique_ptr<app_instance>(new bzip2_app(p));
+    });
+    register_app("dedup", [](const app_params& p) {
+      return std::unique_ptr<app_instance>(new dedup_app(p));
+    });
+    register_app("ferret", [](const app_params& p) {
+      return std::unique_ptr<app_instance>(new ferret_app(p));
+    });
+  });
+}
+
+}  // namespace hq::pipe

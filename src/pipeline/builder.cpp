@@ -1,0 +1,129 @@
+#include "pipeline/builder.hpp"
+
+namespace hq::pipe {
+
+const char* to_string(stage_kind k) noexcept {
+  switch (k) {
+    case stage_kind::serial_in_order:
+      return "serial_in_order";
+    case stage_kind::serial:
+      return "serial";
+    case stage_kind::parallel:
+      return "parallel";
+  }
+  return "?";
+}
+
+void graph::connect(stage_id from, stage_id to, edge_opts opts) {
+  if (from >= stages_.size() || to >= stages_.size())
+    throw graph_error("pipe::connect: stage id out of range");
+  auto& src = stages_[from];
+  auto& dst = stages_[to];
+  if (src.is_sink)
+    throw graph_error("pipe::connect: cannot connect from sink stage '" +
+                      src.name + "'");
+  if (dst.is_source)
+    throw graph_error("pipe::connect: cannot connect into source stage '" +
+                      dst.name + "'");
+  if (src.out_type != dst.in_type)
+    throw graph_error("pipe::connect: type mismatch on edge '" + src.name +
+                      "' -> '" + dst.name + "': produces " +
+                      src.out_type_name + ", consumes " + dst.in_type_name);
+  if (src.out_edge != -1)
+    throw graph_error("pipe::connect: output of stage '" + src.name +
+                      "' already connected");
+  if (dst.in_edge != -1)
+    throw graph_error("pipe::connect: input of stage '" + dst.name +
+                      "' already connected");
+
+  detail::edge_rec e;
+  e.from = from;
+  e.to = to;
+  e.opts = opts;
+  e.type = src.out_type;
+  src.out_edge = static_cast<int>(edges_.size());
+  dst.in_edge = static_cast<int>(edges_.size());
+  edges_.push_back(std::move(e));
+}
+
+graph::plan graph::compile() const {
+  if (stages_.empty()) throw graph_error("pipe::compile: empty graph");
+
+  std::size_t src = stages_.size();
+  std::size_t snk = stages_.size();
+  for (std::size_t i = 0; i < stages_.size(); ++i) {
+    if (stages_[i].is_source) {
+      if (src != stages_.size())
+        throw graph_error("pipe::compile: more than one source stage");
+      src = i;
+    }
+    if (stages_[i].is_sink) {
+      if (snk != stages_.size())
+        throw graph_error("pipe::compile: more than one sink stage");
+      snk = i;
+    }
+  }
+  if (src == stages_.size())
+    throw graph_error("pipe::compile: no source stage declared");
+  if (snk == stages_.size())
+    throw graph_error("pipe::compile: no sink stage declared");
+  if (stages_[snk].kind == stage_kind::parallel)
+    throw graph_error(
+        "pipe::compile: sink stage '" + stages_[snk].name +
+        "' is parallel; sinks must be serial or serial_in_order");
+
+  plan p;
+  // Walk the chain from the source; every stage must be reachable.
+  std::size_t cur = src;
+  unsigned depth = 0;  // reorder-path depth of tokens *entering* cur
+  for (;;) {
+    p.order.push_back(cur);
+    const auto& s = stages_[cur];
+    if (s.is_sink) break;
+    if (s.out_edge < 0)
+      throw graph_error("pipe::compile: stage '" + s.name +
+                        "' has no outgoing edge");
+    // Depth of the tokens this stage emits: an in-order stage restarts
+    // sequence numbering (its output is a fresh totally-ordered stream);
+    // other kinds tag outputs relative to their input's position. An
+    // expand stage appends one sub-sequence level either way.
+    unsigned out_depth =
+        (s.kind == stage_kind::serial_in_order || s.is_source) ? 1 : depth;
+    if (s.multi_out) ++out_depth;
+    if (out_depth > kMaxDepth)
+      throw graph_error("pipe::compile: fan-out nesting exceeds kMaxDepth at '" +
+                        s.name + "'");
+    p.edges.push_back(static_cast<std::size_t>(s.out_edge));
+    p.edge_depth.push_back(out_depth);
+    depth = out_depth;
+    cur = edges_[static_cast<std::size_t>(s.out_edge)].to;
+  }
+
+  if (p.order.size() != stages_.size()) {
+    // Some declared stage was never reached from the source.
+    std::vector<bool> seen(stages_.size(), false);
+    for (auto i : p.order) seen[i] = true;
+    for (std::size_t i = 0; i < stages_.size(); ++i)
+      if (!seen[i])
+        throw graph_error("pipe::compile: stage '" + stages_[i].name +
+                          "' is not attached to the source->sink chain");
+  }
+  return p;
+}
+
+hq::queue_graph graph::build_queue_graph() const {
+  plan p = compile();
+  hq::queue_graph g;
+  g.num_stages = static_cast<unsigned>(p.order.size());
+  g.queues.reserve(p.edges.size());
+  for (std::size_t i = 0; i < p.edges.size(); ++i) {
+    hq::queue_graph::queue_desc q;
+    q.producers = {static_cast<unsigned>(i)};
+    q.consumer = static_cast<unsigned>(i + 1);
+    q.traffic = edges_[p.edges[i]].opts.traffic;
+    g.queues.push_back(std::move(q));
+  }
+  return g;
+}
+
+}  // namespace hq::pipe

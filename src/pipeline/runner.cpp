@@ -1,0 +1,579 @@
+#include "pipeline/runner.hpp"
+
+#include <array>
+#include <cassert>
+#include <map>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+
+#include "conc/bounded_queue.hpp"
+#include "pipeline/tbb_pipeline.hpp"
+#include "sched/partition.hpp"
+#include "util/stats.hpp"
+
+namespace hq::pipe {
+
+const char* to_string(backend b) noexcept {
+  switch (b) {
+    case backend::serial:
+      return "serial";
+    case backend::hyperqueue:
+      return "hyperqueue";
+    case backend::hyperqueue_element:
+      return "hyperqueue_element";
+    case backend::pthreads:
+      return "pthreads";
+    case backend::tbb:
+      return "tbb";
+  }
+  return "?";
+}
+
+const std::vector<backend>& parallel_backends() {
+  static const std::vector<backend> v = {
+      backend::hyperqueue, backend::hyperqueue_element, backend::pthreads,
+      backend::tbb};
+  return v;
+}
+
+namespace {
+
+using detail::erased_emit;
+using detail::stage_rec;
+
+// ---- serial elision --------------------------------------------------------
+// Stages invoked depth-first on the calling thread: each emission is a call
+// into the next stage's deliver thunk with a pointer to the value still on
+// the emitter's stack. No queues, no heap tokens — this is the elision whose
+// output order defines correctness for every parallel backend.
+
+exec_result run_serial_elision(graph& g) {
+  graph::plan p = g.compile();
+  const std::size_t n = p.order.size();
+  std::vector<std::function<void(void*)>> deliver(n);
+  std::vector<erased_emit> next(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (i + 1 < n) {
+      next[i].ctx = &deliver[i + 1];
+      next[i].fn = [](void* ctx, void* tok) {
+        (*static_cast<std::function<void(void*)>*>(ctx))(tok);
+      };
+    }
+    const stage_rec& s = g.stage_at(p.order[i]);
+    deliver[i] = [&s, &next, i](void* tok) { s.run_value(tok, next[i]); };
+  }
+  exec_result res;
+  util::stopwatch sw;
+  deliver[0](nullptr);
+  res.seconds = sw.seconds();
+  return res;
+}
+
+// ---- hyperqueue backend ----------------------------------------------------
+// One hyperqueue per edge, created by the root task (which thereby owns
+// them, per the attachment model) and homed per the partition plan; stage
+// tasks spawned in chain order — the serial-elision order the queues'
+// visibility rules assume. The element backend is the same lowering with
+// the bulk path forced off on every edge.
+
+detail::hq_knobs knobs_for(const graph& g, const graph::plan& p,
+                           std::size_t chain_pos, bool force_element) {
+  detail::hq_knobs k;
+  if (chain_pos > 0) {
+    const auto& in = g.edge_at(p.edges[chain_pos - 1]).opts;
+    k.in_batch = in.slice_batch ? in.slice_batch : 1;
+    k.in_bulk = in.bulk && !force_element;
+  }
+  if (chain_pos + 1 < p.order.size()) {
+    const auto& out = g.edge_at(p.edges[chain_pos]).opts;
+    k.out_batch = out.slice_batch ? out.slice_batch : 1;
+    k.out_bulk = out.bulk && !force_element;
+  }
+  return k;
+}
+
+exec_result run_hyperqueue_backend(graph& g, const exec_options& opt,
+                                   bool force_element) {
+  graph::plan p = g.compile();
+  const std::size_t n = p.order.size();
+
+  std::unique_ptr<scheduler> sched;
+  if (opt.placement)
+    sched = std::make_unique<scheduler>(opt.workers, *opt.placement);
+  else
+    sched = std::make_unique<scheduler>(opt.workers);
+
+  // Runtime-fed placement: the builder knows the stage->queue attachment
+  // graph, so under a placement policy each queue's segments are homed on
+  // its consumer stage's node without the caller supplying a queue_graph.
+  std::vector<int> nodes(p.edges.size(), -1);
+  if (sched->policy() != placement_policy::none &&
+      sched->topo().num_nodes() > 1) {
+    queue_plan plan = plan_queue_placement(
+        g.build_queue_graph(), sched->topo().num_nodes(), opt.seed);
+    for (std::size_t j = 0; j < p.edges.size(); ++j)
+      nodes[j] = plan.queue_node[j];
+  }
+
+  exec_result res;
+  util::stopwatch sw;
+  sched->run([&] {
+    std::vector<std::unique_ptr<detail::hq_chan_base>> chans;
+    chans.reserve(p.edges.size());
+    for (std::size_t j = 0; j < p.edges.size(); ++j) {
+      const auto& opts = g.edge_at(p.edges[j]).opts;
+      std::size_t seglen = opts.segment_length
+                               ? opts.segment_length
+                               : 2 * (opts.slice_batch ? opts.slice_batch : 1);
+      chans.push_back(
+          g.stage_at(p.order[j]).make_out_chan(seglen, nodes[j]));
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      detail::hq_stage_ctx ctx;
+      ctx.in = i > 0 ? chans[i - 1].get() : nullptr;
+      ctx.out = i + 1 < n ? chans[i].get() : nullptr;
+      ctx.knobs = knobs_for(g, p, i, force_element);
+      g.stage_at(p.order[i]).hq_spawn(ctx);
+    }
+    sync();
+    for (auto& ch : chans) {
+      res.pool = res.pool + ch->pool();
+      res.peak_segments = std::max(res.peak_segments, ch->segments());
+      res.queue_nodes.push_back(ch->node());
+    }
+    chans.clear();  // queues must be destroyed by their owning task
+  });
+  res.seconds = sw.seconds();
+  return res;
+}
+
+// ---- pthreads backend ------------------------------------------------------
+// One bounded_queue per edge (capacity = the edge knob), explicit stage
+// threads. Serial-elision order behind parallel and expand stages is
+// recovered by a multi-level reorder buffer: tokens carry a path of
+// sequence components (one per expand level), count records announce how
+// many children each path prefix has, and a cursor walks the leaf paths in
+// lexicographic = elision order, carrying at exhausted prefixes. This
+// generalizes the two-level (coarse, fine) counting scheme of PARSEC
+// dedup's pthread version to any declared chain.
+
+struct prec {
+  std::array<std::uint32_t, graph::kMaxDepth> path{};
+  std::uint8_t depth = 0;
+  bool is_count = false;      ///< `count` children exist under prefix `path`
+  std::uint32_t count = 0;
+  void* payload = nullptr;    ///< owned heap token (leaf records only)
+};
+
+class reorderer {
+ public:
+  explicit reorderer(unsigned leaf_depth) : cursor_(leaf_depth, 0) {
+    assert(leaf_depth >= 1);
+  }
+  [[nodiscard]] bool done() const noexcept { return done_; }
+
+  /// Ingest one record, delivering any now-in-order leaf payloads.
+  template <typename Deliver>
+  void feed(const prec& r, Deliver&& deliver) {
+    if (r.is_count) {
+      counts_.emplace(key(r, r.depth), r.count);
+    } else {
+      assert(r.depth == cursor_.size());
+      pending_.emplace(key(r, r.depth), r.payload);
+    }
+    drain(deliver);
+  }
+
+ private:
+  static std::vector<std::uint32_t> key(const prec& r, unsigned len) {
+    return {r.path.begin(), r.path.begin() + len};
+  }
+
+  template <typename Deliver>
+  void drain(Deliver&& deliver) {
+    const auto L = static_cast<int>(cursor_.size());
+    while (!done_) {
+      auto it = pending_.find(cursor_);
+      if (it != pending_.end()) {
+        void* payload = it->second;
+        pending_.erase(it);
+        deliver(payload);
+        ++cursor_[L - 1];
+        continue;
+      }
+      // The cursor's leaf hasn't arrived. Either it is genuinely pending,
+      // or the cursor sits one past the end of an exhausted subtree and
+      // must carry. Walk prefixes deepest-first; at each level the deeper
+      // cursor components are all zero (guaranteed by the walk order), so
+      // a count match means "this prefix is complete".
+      bool progressed = false;
+      for (int d = L - 1; d >= 0; --d) {
+        auto ct = counts_.find(
+            std::vector<std::uint32_t>(cursor_.begin(), cursor_.begin() + d));
+        if (ct != counts_.end() && ct->second == cursor_[d]) {
+          counts_.erase(ct);
+          progressed = true;
+          if (d == 0) {
+            done_ = true;
+            assert(pending_.empty() && counts_.empty());
+          } else {
+            cursor_[d] = 0;
+            ++cursor_[d - 1];
+          }
+          break;  // re-check pending at the carried cursor
+        }
+        if (ct != counts_.end()) break;  // subtree not exhausted yet
+        if (cursor_[d] != 0) break;      // mid-subtree; count not yet known
+        // Count absent with cursor 0 at this level: this subtree may not
+        // exist at all (cursor one past its parent's last child) — keep
+        // walking up; the parent's count decides.
+      }
+      if (!progressed) return;  // wait for more records
+    }
+  }
+
+  std::vector<std::uint32_t> cursor_;
+  std::map<std::vector<std::uint32_t>, void*> pending_;
+  std::map<std::vector<std::uint32_t>, std::uint32_t> counts_;
+  bool done_ = false;
+};
+
+/// Run one heap-mode stage body, collecting its emitted heap tokens.
+std::vector<void*> run_collect(const stage_rec& s, void* payload) {
+  std::vector<void*> outs;
+  erased_emit em;
+  em.ctx = &outs;
+  em.fn = [](void* c, void* t) {
+    static_cast<std::vector<void*>*>(c)->push_back(t);
+  };
+  s.run_heap(payload, em);
+  return outs;
+}
+
+/// Push `outs` tagged relative to input record `r` (parallel / unordered
+/// stages: output order is derived from the input's path).
+void push_tagged(bounded_queue<prec>& out, const stage_rec& s, const prec& r,
+                 std::vector<void*>&& outs) {
+  if (s.multi_out) {
+    for (std::uint32_t j = 0; j < outs.size(); ++j) {
+      prec c;
+      c.path = r.path;
+      c.path[r.depth] = j;
+      c.depth = static_cast<std::uint8_t>(r.depth + 1);
+      c.payload = outs[j];
+      out.push(c);
+    }
+    prec cnt;
+    cnt.path = r.path;
+    cnt.depth = r.depth;
+    cnt.is_count = true;
+    cnt.count = static_cast<std::uint32_t>(outs.size());
+    out.push(cnt);
+  } else {
+    assert(outs.size() == 1 && "pipe::stage body must emit exactly once");
+    prec o = r;
+    o.payload = outs[0];
+    out.push(o);
+  }
+}
+
+void pth_worker_stage(const stage_rec& s, bounded_queue<prec>& in,
+                      bounded_queue<prec>& out) {
+  for (;;) {
+    auto v = in.pop();
+    if (!v) break;
+    if (v->is_count) {
+      out.push(*v);  // counts pass through; paths are preserved
+      continue;
+    }
+    push_tagged(out, s, *v, run_collect(s, v->payload));
+  }
+}
+
+/// serial_in_order middle stage: reorder the input to elision order, run
+/// the body inline, and restart sequence numbering on the output stream.
+void pth_inorder_stage(const stage_rec& s, unsigned in_depth,
+                       bounded_queue<prec>& in, bounded_queue<prec>& out) {
+  reorderer ro(in_depth);
+  std::uint32_t in_seq = 0;
+  for (;;) {
+    auto v = in.pop();
+    if (!v) break;
+    ro.feed(*v, [&](void* payload) {
+      prec r;
+      r.path[0] = in_seq++;
+      r.depth = 1;
+      push_tagged(out, s, r, run_collect(s, payload));
+    });
+    if (ro.done()) break;
+  }
+  prec root;
+  root.is_count = true;
+  root.count = in_seq;
+  out.push(root);
+}
+
+void pth_sink_stage(const stage_rec& s, unsigned in_depth,
+                    bounded_queue<prec>& in) {
+  erased_emit none;
+  if (s.kind == stage_kind::serial_in_order) {
+    reorderer ro(in_depth);
+    for (;;) {
+      auto v = in.pop();
+      if (!v) break;
+      ro.feed(*v, [&](void* payload) { s.run_heap(payload, none); });
+      if (ro.done()) break;
+    }
+  } else {
+    for (;;) {
+      auto v = in.pop();
+      if (!v) break;
+      if (!v->is_count) s.run_heap(v->payload, none);
+    }
+  }
+}
+
+exec_result run_pthreads_backend(graph& g, const exec_options& opt) {
+  graph::plan p = g.compile();
+  const std::size_t n = p.order.size();
+  const unsigned workers = opt.workers ? opt.workers : 1;
+
+  std::vector<std::unique_ptr<bounded_queue<prec>>> qs;
+  qs.reserve(p.edges.size());
+  for (auto e : p.edges)
+    qs.push_back(
+        std::make_unique<bounded_queue<prec>>(g.edge_at(e).opts.capacity));
+
+  exec_result res;
+  util::stopwatch sw;
+  std::vector<std::vector<std::thread>> stage_threads(n);
+  for (std::size_t i = 1; i < n; ++i) {
+    const stage_rec& s = g.stage_at(p.order[i]);
+    const unsigned in_depth = p.edge_depth[i - 1];
+    auto* in = qs[i - 1].get();
+    if (s.is_sink) {
+      stage_threads[i].emplace_back(
+          [&s, in_depth, in] { pth_sink_stage(s, in_depth, *in); });
+    } else {
+      auto* out = qs[i].get();
+      if (s.kind == stage_kind::serial_in_order) {
+        stage_threads[i].emplace_back(
+            [&s, in_depth, in, out] { pth_inorder_stage(s, in_depth, *in, *out); });
+      } else {
+        const unsigned nthreads =
+            s.kind == stage_kind::parallel ? workers : 1;
+        for (unsigned t = 0; t < nthreads; ++t)
+          stage_threads[i].emplace_back(
+              [&s, in, out] { pth_worker_stage(s, *in, *out); });
+      }
+    }
+  }
+
+  // The source runs on the calling thread, numbering its stream directly.
+  {
+    const stage_rec& src = g.stage_at(p.order[0]);
+    struct src_ctx {
+      bounded_queue<prec>* q;
+      std::uint32_t seq = 0;
+    } c{qs[0].get()};
+    erased_emit em;
+    em.ctx = &c;
+    em.fn = [](void* cp, void* tok) {
+      auto* ctx = static_cast<src_ctx*>(cp);
+      prec r;
+      r.path[0] = ctx->seq++;
+      r.depth = 1;
+      r.payload = tok;
+      ctx->q->push(r);
+    };
+    src.run_heap(nullptr, em);
+    prec root;
+    root.is_count = true;
+    root.count = c.seq;
+    qs[0]->push(root);
+    qs[0]->close();
+  }
+
+  for (std::size_t i = 1; i < n; ++i) {
+    for (auto& t : stage_threads[i]) t.join();
+    if (i < n - 1) qs[i]->close();
+  }
+  res.seconds = sw.seconds();
+  return res;
+}
+
+// ---- TBB backend -----------------------------------------------------------
+// Gathered-list tokens (paper Figure 10a): each token is the list of all
+// live descendants of one source item, so expand stages grow the list in
+// place and ordered filters recover elision order from token order alone.
+// A feeder thread adapts the push-style source to the engine's pull-style
+// first filter through a bounded queue, preserving input/compute overlap.
+
+exec_result run_tbb_backend(graph& g, const exec_options& opt) {
+  graph::plan p = g.compile();
+  const std::size_t n = p.order.size();
+  const unsigned workers = opt.workers ? opt.workers : 1;
+  using toklist = std::vector<void*>;
+
+  bounded_queue<void*> feed(g.edge_at(p.edges[0]).opts.capacity);
+  std::thread feeder([&] {
+    const stage_rec& src = g.stage_at(p.order[0]);
+    erased_emit em;
+    em.ctx = &feed;
+    em.fn = [](void* c, void* tok) {
+      static_cast<bounded_queue<void*>*>(c)->push(tok);
+    };
+    src.run_heap(nullptr, em);
+    feed.close();
+  });
+
+  tbbpipe::pipeline pl;
+  pl.add_filter(tbbpipe::filter_mode::serial_in_order, [&feed](void*) -> void* {
+    auto v = feed.pop();
+    if (!v) return nullptr;
+    return new toklist{*v};
+  });
+  for (std::size_t i = 1; i + 1 < n; ++i) {
+    const stage_rec& s = g.stage_at(p.order[i]);
+    auto mode = s.kind == stage_kind::parallel
+                    ? tbbpipe::filter_mode::parallel
+                    : tbbpipe::filter_mode::serial_in_order;
+    pl.add_filter(mode, [&s](void* t) -> void* {
+      auto* list = static_cast<toklist*>(t);
+      toklist next;
+      next.reserve(list->size());
+      erased_emit em;
+      em.ctx = &next;
+      em.fn = [](void* c, void* tok) {
+        static_cast<toklist*>(c)->push_back(tok);
+      };
+      for (void* v : *list) s.run_heap(v, em);
+      *list = std::move(next);
+      return list;
+    });
+  }
+  {
+    const stage_rec& snk = g.stage_at(p.order[n - 1]);
+    pl.add_filter(tbbpipe::filter_mode::serial_in_order,
+                  [&snk](void* t) -> void* {
+                    std::unique_ptr<toklist> list(static_cast<toklist*>(t));
+                    erased_emit none;
+                    for (void* v : *list) snk.run_heap(v, none);
+                    return nullptr;
+                  });
+  }
+
+  exec_result res;
+  util::stopwatch sw;
+  pl.run(opt.max_tokens ? opt.max_tokens : 4 * std::size_t{workers}, workers);
+  res.seconds = sw.seconds();
+  feeder.join();
+  return res;
+}
+
+}  // namespace
+
+exec_result execute(graph& g, backend b, const exec_options& opt) {
+  switch (b) {
+    case backend::serial:
+      return run_serial_elision(g);
+    case backend::hyperqueue:
+      return run_hyperqueue_backend(g, opt, /*force_element=*/false);
+    case backend::hyperqueue_element:
+      return run_hyperqueue_backend(g, opt, /*force_element=*/true);
+    case backend::pthreads:
+      return run_pthreads_backend(g, opt);
+    case backend::tbb:
+      return run_tbb_backend(g, opt);
+  }
+  throw std::logic_error("pipe::execute: unknown backend");
+}
+
+// ---- app registry ----------------------------------------------------------
+
+namespace {
+
+struct registry_t {
+  std::mutex mu;
+  std::vector<std::string> names;
+  std::map<std::string, app_factory> factories;
+  std::map<std::string, std::string> references;  // (name|seed|mode) -> digest
+};
+
+registry_t& registry() {
+  static registry_t r;
+  return r;
+}
+
+std::string ref_key(const std::string& name, const app_params& p) {
+  return name + "|" + std::to_string(p.seed) + (p.quick ? "|q" : "|f");
+}
+
+}  // namespace
+
+void register_app(std::string name, app_factory make) {
+  auto& r = registry();
+  std::lock_guard<std::mutex> lk(r.mu);
+  if (r.factories.emplace(name, std::move(make)).second)
+    r.names.push_back(std::move(name));
+}
+
+const std::vector<std::string>& registered_apps() {
+  ensure_builtin_apps();
+  return registry().names;
+}
+
+app_run run_app(const std::string& name, backend b, const app_params& p,
+                const exec_options* opt_override) {
+  ensure_builtin_apps();
+  app_factory make;
+  {
+    auto& r = registry();
+    std::lock_guard<std::mutex> lk(r.mu);
+    auto it = r.factories.find(name);
+    if (it == r.factories.end())
+      throw std::out_of_range("pipe::run_app: unknown app '" + name + "'");
+    make = it->second;
+  }
+
+  app_run out;
+  // Serial-elision reference digest, memoized per (app, seed, size). The
+  // runner owns the equality gate: apps only declare kernels and a digest.
+  {
+    const std::string key = ref_key(name, p);
+    auto& r = registry();
+    std::unique_lock<std::mutex> lk(r.mu);
+    auto it = r.references.find(key);
+    if (it == r.references.end()) {
+      lk.unlock();
+      app_params ref_p = p;
+      ref_p.workers = 1;
+      auto ref_inst = make(ref_p);
+      graph ref_g;
+      ref_inst->describe(ref_g);
+      (void)run_serial_elision(ref_g);
+      std::string digest = ref_inst->digest();
+      lk.lock();
+      it = r.references.emplace(key, std::move(digest)).first;
+    }
+    out.reference = it->second;
+  }
+
+  auto inst = make(p);
+  graph g;
+  inst->describe(g);
+  exec_options opt;
+  if (opt_override) {
+    opt = *opt_override;
+  } else {
+    opt.workers = p.workers;
+    opt.seed = p.seed;
+  }
+  out.exec = execute(g, b, opt);
+  out.digest = inst->digest();
+  out.ok = out.digest == out.reference;
+  return out;
+}
+
+}  // namespace hq::pipe

@@ -1,0 +1,115 @@
+// Generic pipeline runner + app registry.
+//
+// Executes one pipe::graph description on any backend:
+//
+//   serial              — the serial elision: stages invoked depth-first on
+//                         one thread, emissions passed as stack references.
+//                         The correctness reference every other backend is
+//                         gated against.
+//   hyperqueue          — hyperqueues with the slice (bulk) data path; the
+//                         scheduler's placement policy feeds
+//                         plan_queue_placement from the graph's own
+//                         attachment topology and homes each queue on its
+//                         consumer stage's node (PR 6 residual closed).
+//   hyperqueue_element  — same lowering, element-at-a-time pushes/pops on
+//                         every edge (Section 4 baseline data path).
+//   pthreads            — explicit-thread baseline over bounded_queue, with
+//                         multi-level reorder buffers recovering
+//                         serial-elision order behind expand stages.
+//   tbb                 — the TBB-style token pipeline baseline
+//                         (pipeline/tbb_pipeline.hpp), gathered-list tokens
+//                         for expand stages (paper Figure 10a).
+//
+// Apps register a factory under a name (register_app / REGISTER_HQ_APP via
+// registry.cpp); run_app(name, backend, params) builds a fresh instance,
+// runs it, and compares its digest against a memoized serial-elision
+// reference — the output-equality gate lives here once instead of being
+// re-implemented per app.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "pipeline/builder.hpp"
+#include "sched/scheduler.hpp"
+
+namespace hq::pipe {
+
+enum class backend { serial, hyperqueue, hyperqueue_element, pthreads, tbb };
+
+[[nodiscard]] const char* to_string(backend b) noexcept;
+
+/// All registered app-facing backends (everything but `serial`, which is
+/// the reference the others are gated against).
+[[nodiscard]] const std::vector<backend>& parallel_backends();
+
+struct exec_options {
+  unsigned workers = 1;
+  std::uint64_t seed = 0;
+  /// TBB backend: max in-flight tokens; 0 = 4 * workers.
+  std::size_t max_tokens = 0;
+  /// Hyperqueue backend: explicit placement; null = environment-driven
+  /// (HQ_PLACEMENT / HQ_TOPOLOGY via the scheduler's default ctor).
+  const scheduler::placement_config* placement = nullptr;
+};
+
+struct exec_result {
+  double seconds = 0;
+  /// Hyperqueue backend only: pool counters summed over the chain's queues
+  /// and the peak live segment count (zero-steady-state-alloc probes).
+  seg_pool_stats pool;
+  std::size_t peak_segments = 0;
+  /// Hyperqueue backend only: each edge queue's arena home node, in chain
+  /// order (-1 = default heap; >= 0 under a placement policy).
+  std::vector<int> queue_nodes;
+};
+
+/// Run `g` on `b`. Throws graph_error if the description doesn't compile.
+exec_result execute(graph& g, backend b, const exec_options& opt = {});
+
+// ---- app registry ----------------------------------------------------------
+
+struct app_params {
+  unsigned workers = 1;
+  std::uint64_t seed = 0;
+  /// Small deterministic inputs (tests / --quick benches) vs full size.
+  bool quick = true;
+};
+
+/// One constructed app run: describes its pipeline into a graph, then
+/// reports a digest of its output after execution. Instances are
+/// single-shot; the registry makes a fresh one per run.
+class app_instance {
+ public:
+  virtual ~app_instance() = default;
+  virtual void describe(graph& g) = 0;
+  [[nodiscard]] virtual std::string digest() const = 0;
+};
+
+using app_factory =
+    std::function<std::unique_ptr<app_instance>(const app_params&)>;
+
+void register_app(std::string name, app_factory make);
+[[nodiscard]] const std::vector<std::string>& registered_apps();
+/// Force registration of the built-in apps (bzip2/dedup/ferret). Defined in
+/// src/apps/registry.cpp; callers in the same binary get the registrations
+/// via this link-time dependency regardless of static-init order.
+void ensure_builtin_apps();
+
+struct app_run {
+  exec_result exec;
+  std::string digest;     ///< this run's output digest
+  std::string reference;  ///< serial-elision digest for (app, seed, quick)
+  bool ok = false;        ///< digest == reference
+};
+
+/// Build app `name` with `p`, run it on `b`, and gate the result against
+/// the memoized serial-elision reference digest. Throws std::out_of_range
+/// for unknown apps.
+app_run run_app(const std::string& name, backend b, const app_params& p,
+                const exec_options* opt_override = nullptr);
+
+}  // namespace hq::pipe
