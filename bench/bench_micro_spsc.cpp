@@ -18,6 +18,7 @@
 #include <thread>
 
 #include "bench_json.hpp"
+#include "conc/backoff.hpp"
 #include "conc/bounded_queue.hpp"
 #include "conc/spsc_ring.hpp"
 #include "core/hyperqueue.hpp"
@@ -214,21 +215,25 @@ bool run_two_thread_probe(bool quick) {
   const hq::detail::element_ops ops = hq::detail::make_element_ops<std::uint64_t>();
   auto* seg = hq::detail::segment::create(1024, &ops);
   std::thread producer([&] {
+    hq::backoff bo;
     for (std::uint64_t i = 0; i < items;) {
       std::uint64_t val = i * 0x9e3779b97f4a7c15ull;
       if (seg->try_push(&val)) {
         ++i;
+        bo.reset();
       } else {
-        std::this_thread::yield();
+        bo.pause();
       }
     }
   });
   std::uint64_t first_bad = items;
+  hq::backoff bo;
   for (std::uint64_t i = 0; i < items;) {
     if (!seg->readable()) {
-      std::this_thread::yield();
+      bo.pause();
       continue;
     }
+    bo.reset();
     std::uint64_t out = 0;
     seg->pop_into(&out);
     if (first_bad == items && out != i * 0x9e3779b97f4a7c15ull) first_bad = i;

@@ -4,6 +4,13 @@
 // PARSEC pthreads versions of ferret/dedup use exactly this structure, so the
 // baseline faithfully reproduces their synchronization cost profile.
 // A closed() state implements end-of-stream propagation between stages.
+//
+// Cancellation: both blocking waits have `closed_` in their predicate, so
+// close() *is* the cancellation poll — a failing stage closes every queue of
+// the pipeline, which unblocks all producers (push returns false) and
+// consumers (pop drains then returns nullopt) without any spin polling.
+// drain() then recovers the not-yet-consumed items so the teardown path can
+// destroy their payloads leak-free.
 #pragma once
 
 #include <condition_variable>
@@ -63,6 +70,20 @@ class bounded_queue {
     }
     not_empty_.notify_all();
     not_full_.notify_all();
+  }
+
+  /// Close and take every buffered item (failure teardown): the caller owns
+  /// the returned items and destroys any heap payloads they carry.
+  [[nodiscard]] std::deque<T> drain() {
+    std::deque<T> out;
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      closed_ = true;
+      out.swap(items_);
+    }
+    not_empty_.notify_all();
+    not_full_.notify_all();
+    return out;
   }
 
   [[nodiscard]] bool closed() const {

@@ -1,0 +1,295 @@
+#include "core/fault.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <memory>
+#include <mutex>
+
+#include "conc/backoff.hpp"
+#include "sched/scheduler.hpp"
+#include "sched/task.hpp"
+
+namespace hq::fault {
+
+injected_fault::injected_fault(std::string site, std::uint64_t count)
+    : std::runtime_error("injected fault at " + site + "#" +
+                         std::to_string(count)),
+      site_(std::move(site)),
+      count_(count) {}
+
+namespace {
+
+std::uint64_t splitmix64(std::uint64_t x) noexcept {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+std::uint64_t fnv1a(std::string_view s) noexcept {
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  for (char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+bool site_matches(const std::string& pattern, std::string_view site) noexcept {
+  if (!pattern.empty() && pattern.back() == '*')
+    return site.substr(0, pattern.size() - 1) ==
+           std::string_view(pattern).substr(0, pattern.size() - 1);
+  return site == pattern;
+}
+
+/// Pure firing predicate: a function of (seed, site, count) only.
+bool fires(const rule& r, std::uint64_t seed, std::string_view site,
+           std::uint64_t count) noexcept {
+  if (r.nth != 0 && count == r.nth) return true;
+  if (r.every != 0 && count % r.every == 0) return true;
+  if (r.prob > 0.0) {
+    const std::uint64_t x = splitmix64(seed ^ fnv1a(site) ^ count);
+    return static_cast<double>(x) <
+           r.prob * 18446744073709551616.0;  // 2^64
+  }
+  return false;
+}
+
+struct site_state {
+  std::atomic<std::uint64_t> hits{0};
+};
+
+struct config {
+  plan p;
+  std::mutex mu;  // guards `sites` mutation and the firing log
+  std::map<std::string, std::unique_ptr<site_state>, std::less<>> sites;
+  std::vector<firing> fired;
+};
+
+/// Retired configurations are kept alive for the process lifetime so a hit
+/// racing a (test-driven) reinstall never dereferences freed memory. Plans
+/// are tiny and installs are per-test, so the leak is bounded and deliberate.
+std::mutex g_install_mu;
+std::vector<std::unique_ptr<config>> g_retired;
+
+config* cfg() noexcept {
+  return const_cast<config*>(
+      static_cast<const config*>(detail::g_cfg.load(std::memory_order_acquire)));
+}
+
+/// Count the hit, decide which rule (if any) fires, and log it. The decision
+/// is made and recorded under the site lock; the *action* runs outside it.
+const rule* decide(config* c, std::string_view site, std::uint64_t* count_out) {
+  std::lock_guard<std::mutex> lk(c->mu);
+  auto it = c->sites.find(site);
+  if (it == c->sites.end())
+    it = c->sites.emplace(std::string(site), std::make_unique<site_state>())
+             .first;
+  const std::uint64_t count =
+      it->second->hits.fetch_add(1, std::memory_order_relaxed) + 1;
+  *count_out = count;
+  for (const rule& r : c->p.rules) {
+    if (!site_matches(r.site, site)) continue;
+    if (fires(r, c->p.seed, site, count)) {
+      c->fired.push_back({std::string(site), count, r.act});
+      return &r;
+    }
+  }
+  return nullptr;
+}
+
+void spin_delay(std::uint64_t iters) noexcept {
+  for (std::uint64_t i = 0; i < iters; ++i) cpu_relax();
+}
+
+[[noreturn]] void spin_stall() {
+  // Park until the watchdog (or a failing sibling) flips the scheduler's
+  // cancellation epoch, then unwind like any other cancelled wait. Clearing
+  // the plan also releases the stall (non-scheduler contexts).
+  scheduler* s = scheduler::current();
+  backoff bo;
+  for (;;) {
+    if (s != nullptr && s->cancelled()) throw hq::detail::cancel_unwind{};
+    if (!active()) throw injected_fault("stall released by clear()", 0);
+    bo.pause();
+  }
+}
+
+void env_install() {
+  const char* spec = std::getenv("HQ_FAULTS");
+  if (spec == nullptr || *spec == '\0') return;
+  plan p;
+  std::string err;
+  if (!parse(spec, &p, &err)) {
+    std::fprintf(stderr, "HQ_FAULTS ignored: %s\n", err.c_str());
+    return;
+  }
+  install(std::move(p));
+}
+
+const bool g_env_installed = (env_install(), true);
+
+}  // namespace
+
+namespace detail {
+
+std::atomic<const void*> g_cfg{nullptr};
+
+void hit_crash(std::string_view site) {
+  config* c = cfg();
+  if (c == nullptr) return;
+  std::uint64_t count = 0;
+  const rule* r = decide(c, site, &count);
+  if (r == nullptr) return;
+  switch (r->act) {
+    case action::throw_exc:
+      throw injected_fault(std::string(site), count);
+    case action::delay:
+      spin_delay(r->iters);
+      return;
+    case action::stall:
+      spin_stall();
+    case action::alloc_fail:
+      return;  // alloc rules only answer failpoint()
+  }
+}
+
+bool hit_fail(std::string_view site) noexcept {
+  config* c = cfg();
+  if (c == nullptr) return false;
+  std::uint64_t count = 0;
+  const rule* r = decide(c, site, &count);
+  if (r == nullptr) return false;
+  if (r->act == action::delay) {
+    spin_delay(r->iters);
+    return false;
+  }
+  return r->act == action::alloc_fail;
+}
+
+void hit_delay(std::string_view site) noexcept {
+  config* c = cfg();
+  if (c == nullptr) return;
+  std::uint64_t count = 0;
+  const rule* r = decide(c, site, &count);
+  if (r != nullptr && r->act == action::delay) spin_delay(r->iters);
+}
+
+}  // namespace detail
+
+void install(plan p) {
+  auto c = std::make_unique<config>();
+  c->p = std::move(p);
+  std::lock_guard<std::mutex> lk(g_install_mu);
+  detail::g_cfg.store(c.get(), std::memory_order_release);
+  g_retired.push_back(std::move(c));
+}
+
+void clear() {
+  std::lock_guard<std::mutex> lk(g_install_mu);
+  detail::g_cfg.store(nullptr, std::memory_order_release);
+}
+
+std::vector<firing> firings() {
+  config* c = cfg();
+  if (c == nullptr) return {};
+  std::lock_guard<std::mutex> lk(c->mu);
+  return c->fired;
+}
+
+namespace {
+
+bool parse_entry(std::string_view e, plan* out, std::string* err) {
+  if (e.substr(0, 5) == "seed=") {
+    out->seed = std::strtoull(std::string(e.substr(5)).c_str(), nullptr, 0);
+    return true;
+  }
+  const std::size_t at = e.find('@');
+  if (at == std::string_view::npos) {
+    *err = "entry '" + std::string(e) + "' has no '@SITE'";
+    return false;
+  }
+  rule r;
+  const std::string_view act = e.substr(0, at);
+  if (act == "throw") {
+    r.act = action::throw_exc;
+  } else if (act == "alloc") {
+    r.act = action::alloc_fail;
+  } else if (act == "delay") {
+    r.act = action::delay;
+  } else if (act == "stall") {
+    r.act = action::stall;
+  } else {
+    *err = "unknown action '" + std::string(act) + "'";
+    return false;
+  }
+  std::string_view rest = e.substr(at + 1);
+  const std::size_t colon = rest.find(':');
+  r.site = std::string(rest.substr(0, colon));
+  if (r.site.empty()) {
+    *err = "empty site in '" + std::string(e) + "'";
+    return false;
+  }
+  if (colon != std::string_view::npos) {
+    std::string_view params = rest.substr(colon + 1);
+    while (!params.empty()) {
+      const std::size_t comma = params.find(',');
+      std::string_view kv = params.substr(0, comma);
+      const std::size_t eq = kv.find('=');
+      if (eq == std::string_view::npos) {
+        *err = "parameter '" + std::string(kv) + "' is not k=v";
+        return false;
+      }
+      const std::string_view k = kv.substr(0, eq);
+      const std::string v(kv.substr(eq + 1));
+      if (k == "nth") {
+        r.nth = std::strtoull(v.c_str(), nullptr, 0);
+      } else if (k == "every") {
+        r.every = std::strtoull(v.c_str(), nullptr, 0);
+      } else if (k == "prob") {
+        r.prob = std::strtod(v.c_str(), nullptr);
+      } else if (k == "iters") {
+        r.iters = std::strtoull(v.c_str(), nullptr, 0);
+      } else {
+        *err = "unknown parameter '" + std::string(k) + "'";
+        return false;
+      }
+      if (comma == std::string_view::npos) break;
+      params.remove_prefix(comma + 1);
+    }
+  }
+  if (r.nth == 0 && r.every == 0 && r.prob == 0.0) {
+    if (r.act != action::delay) {
+      *err =
+          "rule for '" + r.site + "' has no firing condition (nth/every/prob)";
+      return false;
+    }
+    r.every = 1;  // a bare delay rule delays every hit
+  }
+  out->rules.push_back(std::move(r));
+  return true;
+}
+
+}  // namespace
+
+bool parse(std::string_view spec, plan* out, std::string* err) {
+  *out = plan{};
+  while (!spec.empty()) {
+    const std::size_t semi = spec.find(';');
+    std::string_view e = spec.substr(0, semi);
+    // Trim whitespace (specs may be wrapped in shell scripts / YAML).
+    while (!e.empty() && (e.front() == ' ' || e.front() == '\n' ||
+                          e.front() == '\t'))
+      e.remove_prefix(1);
+    while (!e.empty() &&
+           (e.back() == ' ' || e.back() == '\n' || e.back() == '\t'))
+      e.remove_suffix(1);
+    if (!e.empty() && !parse_entry(e, out, err)) return false;
+    if (semi == std::string_view::npos) break;
+    spec.remove_prefix(semi + 1);
+  }
+  return true;
+}
+
+}  // namespace hq::fault

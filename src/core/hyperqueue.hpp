@@ -374,7 +374,7 @@ class hyperqueue {
   /// knob); rounded up to a power of two.
   explicit hyperqueue(std::size_t segment_length = kDefaultSegmentLength)
       : cb_(new detail::queue_cb(detail::make_element_ops<T>(), segment_length)) {
-    cb_->attach_owner(detail::current_frame());
+    attach_or_release();
   }
 
   /// As above, with the queue's segment arenas pinned to NUMA node
@@ -384,7 +384,7 @@ class hyperqueue {
   hyperqueue(std::size_t segment_length, int home_node)
       : cb_(new detail::queue_cb(detail::make_element_ops<T>(), segment_length)) {
     cb_->set_home_node(home_node);
-    cb_->attach_owner(detail::current_frame());
+    attach_or_release();
   }
 
   hyperqueue(const hyperqueue&) = delete;
@@ -454,6 +454,19 @@ class hyperqueue {
   void sync_queue() { cb_->sync_children(0); }
 
  private:
+  /// Ctor tail: registering the owner attachment allocates the queue's
+  /// invariant-1 initial segment, which can fail (std::bad_alloc, or the
+  /// injected alloc@segment.alloc fault). A throwing ctor body skips the
+  /// dtor, so drop the control-block reference manually before rethrowing.
+  void attach_or_release() {
+    try {
+      cb_->attach_owner(detail::current_frame());
+    } catch (...) {
+      cb_->release();
+      throw;
+    }
+  }
+
   detail::queue_cb* cb_;
 };
 

@@ -3,6 +3,8 @@
 #include <cstdint>
 #include <new>
 
+#include "core/fault.hpp"
+
 #if defined(__linux__)
 #include <sys/mman.h>
 #include <sys/syscall.h>
@@ -28,6 +30,9 @@ std::size_t page_round(std::size_t bytes) {
 void bind_region(void* p, std::size_t bytes, int node) {
 #ifdef __NR_mbind
   if (node < 0 || node >= 64) return;
+  // Injected bind failure: skip the mbind, exercising the first-touch
+  // fallback the comment below describes (the mapping still works).
+  if (fault::failpoint("numa.bind")) return;
   unsigned long mask = 1ul << node;
   // Failure (no NUMA support, synthetic node id, seccomp) leaves the
   // mapping on first-touch policy — intentionally ignored.
@@ -53,6 +58,7 @@ bool binding_available() noexcept {
 }
 
 void* alloc(std::size_t bytes, std::size_t align, int node) {
+  if (fault::failpoint("numa.map")) throw std::bad_alloc();
 #if defined(__linux__)
   const std::size_t mapped = page_round(bytes);
   if (align <= kPage) {

@@ -3,6 +3,7 @@
 #include <bit>
 
 #include "conc/backoff.hpp"
+#include "core/fault.hpp"
 #include "sched/scheduler.hpp"
 
 namespace hq::detail {
@@ -19,6 +20,19 @@ void wait_step(backoff& bo) {
   } else {
     bo.pause();
   }
+}
+
+/// Cancellation poll for *data* waits (wait_data / ensure_pos /
+/// sync_children): once a failure cancels the run, a producer this consumer
+/// blocks on may never push or close again — throwing cancel_unwind unwinds
+/// the stage body instead of deadlocking. detach_owner's teardown wait must
+/// NOT throw (it runs during unwind, from hyperqueue destructors) and keeps
+/// the plain wait_step loop; its children always complete under cancellation
+/// because frame bodies are skipped.
+void throw_if_run_cancelled() {
+  scheduler* s = scheduler::current();
+  if (s != nullptr && s->cancelled()) [[unlikely]]
+    throw cancel_unwind{};
 }
 
 /// Attachments recycle through the calling scheduler's per-worker attach
@@ -103,14 +117,23 @@ segment* queue_cb::alloc_segment() {
       return s;
     }
   }
-  seg_live.fetch_add(1, std::memory_order_relaxed);
-  seg_fresh.fetch_add(1, std::memory_order_relaxed);
   // Fresh segment: home it on the queue's pinned node when set, else on the
   // allocating worker's node (-1 on unplaced workers keeps the heap path —
   // the pre-topology behavior, byte for byte).
   int node = home_node_.load(std::memory_order_relaxed);
   if (node < 0) node = scheduler::current_worker_node();
-  return segment::create(seg_capacity, &ops, &dp_, node);
+  segment* s;
+  try {
+    s = segment::create(seg_capacity, &ops, &dp_, node);
+  } catch (...) {
+    // Roll back the in-use count so a failed (real or injected) allocation
+    // leaves the counters consistent for teardown and the next run.
+    seg_in_use.fetch_sub(1, std::memory_order_relaxed);
+    throw;
+  }
+  seg_live.fetch_add(1, std::memory_order_relaxed);
+  seg_fresh.fetch_add(1, std::memory_order_relaxed);
+  return s;
 }
 
 void queue_cb::recycle_segment(segment* s) {
@@ -188,7 +211,17 @@ void queue_cb::attach_owner(task_frame* owner_frame) {
   // Invariant 1: a hyperqueue always holds at least one segment. The owner's
   // shard starts with it, and the scan position starts there too.
   pshard* sh = alloc_shard();
-  segment* s0 = alloc_segment();
+  segment* s0;
+  try {
+    s0 = alloc_segment();
+  } catch (...) {
+    // Allocation failure constructing the queue (real or injected,
+    // alloc@segment.alloc): neither record is registered anywhere yet, so
+    // return them to the attach pool before the throw reaches the ctor.
+    free_shard(sh);
+    free_qattach(a);
+    throw;
+  }
   sh->head.store(s0, std::memory_order_relaxed);
   sh->tail = s0;
   a->my_shard = sh;
@@ -363,6 +396,7 @@ void queue_cb::on_task_complete(qattach* a) {
 // ---------------------------------------------------------------- producer
 
 void queue_cb::push(void* src) {
+  fault::delaypoint("queue.push");
   qattach* a = my_attachment(kPrivPush);
   pshard* sh = a->my_shard;
   if (segment* s = sh->tail) {
@@ -390,6 +424,7 @@ void queue_cb::push(void* src) {
 }
 
 void* queue_cb::write_slice(std::uint64_t want, std::uint64_t* count) {
+  fault::delaypoint("queue.push");
   qattach* a = my_attachment(kPrivPush);
   if (want < 1) want = 1;
   if (want > seg_capacity) want = seg_capacity;
@@ -453,11 +488,13 @@ void queue_cb::ensure_pos(qattach* a) {
         }
       }
     }
+    throw_if_run_cancelled();
     wait_step(bo);
   }
 }
 
 segment* queue_cb::wait_data(qattach* a) {
+  fault::delaypoint("queue.pop");
   ensure_pos(a);
   backoff bo;
   for (;;) {
@@ -521,7 +558,9 @@ segment* queue_cb::wait_data(qattach* a) {
       continue;
     }
     // Open shard of a live producer older in program order: block (helping)
-    // until it pushes or closes.
+    // until it pushes or closes — or the run cancels (the producer may then
+    // never push again: its remaining frames skip their bodies).
+    throw_if_run_cancelled();
     wait_step(bo);
   }
 }
@@ -581,6 +620,7 @@ void queue_cb::sync_children(std::uint8_t priv_filter) {
       pending = a->live_push_children.load(std::memory_order_acquire);
     }
     if (pending == 0) return;
+    throw_if_run_cancelled();
     wait_step(bo);
   }
 }

@@ -3,6 +3,7 @@
 #include <bit>
 #include <new>
 
+#include "core/fault.hpp"
 #include "core/numa.hpp"
 
 namespace hq::detail {
@@ -21,6 +22,7 @@ std::size_t segment_alignment(const element_ops* ops) {
 segment* segment::create(std::uint64_t capacity, const element_ops* ops,
                          data_path_counters* counters, int node) {
   assert(capacity >= 2 && std::has_single_bit(capacity));
+  if (fault::failpoint("segment.alloc")) throw std::bad_alloc();
   // One allocation: [segment header | padding to element alignment | slots].
   const std::size_t align = segment_alignment(ops);
   const std::size_t elem_align = ops->align > alignof(segment) ? ops->align

@@ -48,6 +48,7 @@
 #include <utility>
 #include <vector>
 
+#include "core/fault.hpp"
 #include "core/hyperqueue.hpp"
 #include "sched/partition.hpp"
 #include "sched/spawn.hpp"
@@ -170,7 +171,18 @@ class hq_emitter {
       : out_(out), batch_(batch ? batch : 1), bulk_(bulk) {}
   hq_emitter(const hq_emitter&) = delete;
   hq_emitter& operator=(const hq_emitter&) = delete;
-  ~hq_emitter() { flush(); }
+  ~hq_emitter() {
+    // The dtor also runs while a stage body unwinds; flush() can allocate a
+    // segment, so under allocation-fault injection it may itself throw.
+    // Route that failure into the scheduler slot instead of terminating.
+    try {
+      flush();
+    } catch (...) {
+      if (scheduler* s = scheduler::current())
+        s->record_failure(std::current_exception());
+      buf_.clear();
+    }
+  }
 
   emit<Out> handle() {
     return emit<Out>(this, [](void* c, Out&& v) {
@@ -308,6 +320,11 @@ struct stage_rec {
   /// Factory for this stage's *output* channel (typed on Out).
   std::function<std::unique_ptr<hq_chan_base>(std::size_t seglen, int node)>
       make_out_chan;
+  /// Destroy an owned heap token of this stage's input / output type. The
+  /// pthreads and TBB backends use these to drain in-flight tokens leak-free
+  /// when a failure tears the pipeline down mid-stream (null at chain ends).
+  void (*destroy_in)(void*) = nullptr;
+  void (*destroy_out)(void*) = nullptr;
 };
 
 struct edge_rec {
@@ -333,7 +350,17 @@ class graph {
   /// receives the emission handle: void(emit<Out>).
   template <typename Out, typename F>
   stage_id source(std::string name, F&& body) {
-    std::function<void(emit<Out>)> fn = std::forward<F>(body);
+    // Every stage body runs behind a named fault site ("stage.<name>") on
+    // every backend — the injection choke point the declarative front-end
+    // buys us. Cost when no plan is installed: one relaxed load per
+    // activation.
+    std::function<void(emit<Out>)> fn =
+        [site = "stage." + name,
+         inner = std::function<void(emit<Out>)>(std::forward<F>(body))](
+            emit<Out> out) {
+          hq::fault::crashpoint(site);
+          inner(out);
+        };
     detail::stage_rec s;
     s.name = std::move(name);
     s.kind = stage_kind::serial_in_order;
@@ -374,7 +401,12 @@ class graph {
   /// observe arrival order. Parallel sinks are rejected at compile().
   template <typename In, typename F>
   stage_id sink(std::string name, stage_kind kind, F&& body) {
-    std::function<void(In&&)> fn = std::forward<F>(body);
+    std::function<void(In&&)> fn =
+        [site = "stage." + name,
+         inner = std::function<void(In &&)>(std::forward<F>(body))](In&& v) {
+          hq::fault::crashpoint(site);
+          inner(std::move(v));
+        };
     detail::stage_rec s;
     s.name = std::move(name);
     s.kind = kind;
@@ -432,7 +464,13 @@ class graph {
   template <typename In, typename Out, typename F>
   stage_id add_middle(std::string name, stage_kind kind, F&& body,
                       bool multi_out) {
-    std::function<void(In&&, emit<Out>)> fn = std::forward<F>(body);
+    std::function<void(In&&, emit<Out>)> fn =
+        [site = "stage." + name,
+         inner = std::function<void(In&&, emit<Out>)>(std::forward<F>(body))](
+            In&& v, emit<Out> out) {
+          hq::fault::crashpoint(site);
+          inner(std::move(v), out);
+        };
     detail::stage_rec s;
     s.name = std::move(name);
     s.kind = kind;
@@ -465,12 +503,14 @@ class graph {
   void fill_in_type(detail::stage_rec* s) {
     s->in_type = typeid(In);
     s->in_type_name = typeid(In).name();
+    s->destroy_in = [](void* p) { delete static_cast<In*>(p); };
   }
 
   template <typename Out>
   void fill_out_type(detail::stage_rec* s) {
     s->out_type = typeid(Out);
     s->out_type_name = typeid(Out).name();
+    s->destroy_out = [](void* p) { delete static_cast<Out*>(p); };
     s->make_out_chan = [](std::size_t seglen,
                           int node) -> std::unique_ptr<detail::hq_chan_base> {
       return std::make_unique<detail::hq_chan<Out>>(seglen, node);

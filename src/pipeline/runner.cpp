@@ -1,15 +1,19 @@
 #include "pipeline/runner.hpp"
 
 #include <array>
+#include <atomic>
 #include <cassert>
+#include <exception>
 #include <map>
 #include <mutex>
 #include <stdexcept>
 #include <thread>
+#include <utility>
 
 #include "conc/bounded_queue.hpp"
 #include "pipeline/tbb_pipeline.hpp"
 #include "sched/partition.hpp"
+#include "sched/watchdog.hpp"
 #include "util/stats.hpp"
 
 namespace hq::pipe {
@@ -26,6 +30,18 @@ const char* to_string(backend b) noexcept {
       return "pthreads";
     case backend::tbb:
       return "tbb";
+  }
+  return "?";
+}
+
+const char* to_string(run_outcome o) noexcept {
+  switch (o) {
+    case run_outcome::ok:
+      return "ok";
+    case run_outcome::failed:
+      return "failed";
+    case run_outcome::stalled:
+      return "stalled";
   }
   return "?";
 }
@@ -166,6 +182,37 @@ struct prec {
   void* payload = nullptr;    ///< owned heap token (leaf records only)
 };
 
+/// First-failure slot of one pthreads-backend run. A throwing stage records
+/// its exception here and closes every inter-stage queue: close *is* the
+/// cancellation signal (bounded_queue has closed_ in both wait predicates),
+/// so all other stage threads unblock — producers see push() == false,
+/// consumers drain then see nullopt — and exit their loops without any
+/// polling. The backend then drains the queues, destroys stranded payloads
+/// through the stage destroy hooks, and rethrows on the calling thread.
+struct pth_fail {
+  std::mutex mu;
+  std::exception_ptr err;
+  std::vector<bounded_queue<prec>*> queues;
+
+  void fail(std::exception_ptr e) noexcept {
+    {
+      std::lock_guard<std::mutex> lk(mu);
+      if (!err) err = std::move(e);
+    }
+    for (auto* q : queues) q->close();
+  }
+
+  [[nodiscard]] std::exception_ptr take() {
+    std::lock_guard<std::mutex> lk(mu);
+    return std::exchange(err, nullptr);
+  }
+};
+
+/// Thrown out of a source body's emit when its output queue closed under
+/// it (cancellation initiated elsewhere): unwinds the source without
+/// recording a failure of its own.
+struct src_abort {};
+
 class reorderer {
  public:
   explicit reorderer(unsigned leaf_depth) : cursor_(leaf_depth, 0) {
@@ -183,6 +230,15 @@ class reorderer {
       pending_.emplace(key(r, r.depth), r.payload);
     }
     drain(deliver);
+  }
+
+  /// Failure teardown: hand every undelivered leaf payload to `f` (which
+  /// destroys it) and forget it. After a cancelled run the reorder buffer
+  /// still holds the out-of-order leaves that never met the cursor.
+  template <typename F>
+  void for_each_pending(F&& f) {
+    for (auto& [path, payload] : pending_) f(payload);
+    pending_.clear();
   }
 
  private:
@@ -239,7 +295,9 @@ class reorderer {
   bool done_ = false;
 };
 
-/// Run one heap-mode stage body, collecting its emitted heap tokens.
+/// Run one heap-mode stage body, collecting its emitted heap tokens. The
+/// input payload is consumed even on throw (run_heap owns it); tokens
+/// already emitted before a throw are destroyed before rethrowing.
 std::vector<void*> run_collect(const stage_rec& s, void* payload) {
   std::vector<void*> outs;
   erased_emit em;
@@ -247,14 +305,22 @@ std::vector<void*> run_collect(const stage_rec& s, void* payload) {
   em.fn = [](void* c, void* t) {
     static_cast<std::vector<void*>*>(c)->push_back(t);
   };
-  s.run_heap(payload, em);
+  try {
+    s.run_heap(payload, em);
+  } catch (...) {
+    if (s.destroy_out)
+      for (void* t : outs) s.destroy_out(t);
+    throw;
+  }
   return outs;
 }
 
 /// Push `outs` tagged relative to input record `r` (parallel / unordered
-/// stages: output order is derived from the input's path).
-void push_tagged(bounded_queue<prec>& out, const stage_rec& s, const prec& r,
-                 std::vector<void*>&& outs) {
+/// stages: output order is derived from the input's path). Returns false —
+/// with the unsent tokens destroyed — when the output queue closed under
+/// us, i.e. the run was cancelled.
+[[nodiscard]] bool push_tagged(bounded_queue<prec>& out, const stage_rec& s,
+                               const prec& r, std::vector<void*>&& outs) {
   if (s.multi_out) {
     for (std::uint32_t j = 0; j < outs.size(); ++j) {
       prec c;
@@ -262,20 +328,27 @@ void push_tagged(bounded_queue<prec>& out, const stage_rec& s, const prec& r,
       c.path[r.depth] = j;
       c.depth = static_cast<std::uint8_t>(r.depth + 1);
       c.payload = outs[j];
-      out.push(c);
+      if (!out.push(c)) {
+        if (s.destroy_out)
+          for (std::size_t k = j; k < outs.size(); ++k) s.destroy_out(outs[k]);
+        return false;
+      }
     }
     prec cnt;
     cnt.path = r.path;
     cnt.depth = r.depth;
     cnt.is_count = true;
     cnt.count = static_cast<std::uint32_t>(outs.size());
-    out.push(cnt);
-  } else {
-    assert(outs.size() == 1 && "pipe::stage body must emit exactly once");
-    prec o = r;
-    o.payload = outs[0];
-    out.push(o);
+    return out.push(cnt);
   }
+  assert(outs.size() == 1 && "pipe::stage body must emit exactly once");
+  prec o = r;
+  o.payload = outs[0];
+  if (!out.push(o)) {
+    if (s.destroy_out) s.destroy_out(outs[0]);
+    return false;
+  }
+  return true;
 }
 
 void pth_worker_stage(const stage_rec& s, bounded_queue<prec>& in,
@@ -284,10 +357,10 @@ void pth_worker_stage(const stage_rec& s, bounded_queue<prec>& in,
     auto v = in.pop();
     if (!v) break;
     if (v->is_count) {
-      out.push(*v);  // counts pass through; paths are preserved
+      if (!out.push(*v)) break;  // counts pass through; paths are preserved
       continue;
     }
-    push_tagged(out, s, *v, run_collect(s, v->payload));
+    if (!push_tagged(out, s, *v, run_collect(s, v->payload))) break;
   }
 }
 
@@ -297,21 +370,37 @@ void pth_inorder_stage(const stage_rec& s, unsigned in_depth,
                        bounded_queue<prec>& in, bounded_queue<prec>& out) {
   reorderer ro(in_depth);
   std::uint32_t in_seq = 0;
-  for (;;) {
-    auto v = in.pop();
-    if (!v) break;
-    ro.feed(*v, [&](void* payload) {
-      prec r;
-      r.path[0] = in_seq++;
-      r.depth = 1;
-      push_tagged(out, s, r, run_collect(s, payload));
-    });
-    if (ro.done()) break;
+  // The reorder buffer owns out-of-order payloads; destroy them on any exit
+  // that leaves it non-empty (body throw, cancellation via closed queues).
+  auto drop_pending = [&] {
+    if (s.destroy_in) ro.for_each_pending([&](void* p) { s.destroy_in(p); });
+  };
+  try {
+    bool live = true;
+    for (;;) {
+      auto v = in.pop();
+      if (!v) break;
+      ro.feed(*v, [&](void* payload) {
+        if (!live) {  // output closed mid-drain: consume, don't run
+          if (s.destroy_in) s.destroy_in(payload);
+          return;
+        }
+        prec r;
+        r.path[0] = in_seq++;
+        r.depth = 1;
+        live = push_tagged(out, s, r, run_collect(s, payload));
+      });
+      if (!live || ro.done()) break;
+    }
+  } catch (...) {
+    drop_pending();
+    throw;
   }
+  drop_pending();  // no-op on a clean, completed run
   prec root;
   root.is_count = true;
   root.count = in_seq;
-  out.push(root);
+  (void)out.push(root);  // rejected iff cancelled; the count is moot then
 }
 
 void pth_sink_stage(const stage_rec& s, unsigned in_depth,
@@ -319,12 +408,21 @@ void pth_sink_stage(const stage_rec& s, unsigned in_depth,
   erased_emit none;
   if (s.kind == stage_kind::serial_in_order) {
     reorderer ro(in_depth);
-    for (;;) {
-      auto v = in.pop();
-      if (!v) break;
-      ro.feed(*v, [&](void* payload) { s.run_heap(payload, none); });
-      if (ro.done()) break;
+    auto drop_pending = [&] {
+      if (s.destroy_in) ro.for_each_pending([&](void* p) { s.destroy_in(p); });
+    };
+    try {
+      for (;;) {
+        auto v = in.pop();
+        if (!v) break;
+        ro.feed(*v, [&](void* payload) { s.run_heap(payload, none); });
+        if (ro.done()) break;
+      }
+    } catch (...) {
+      drop_pending();
+      throw;
     }
+    drop_pending();
   } else {
     for (;;) {
       auto v = in.pop();
@@ -345,6 +443,10 @@ exec_result run_pthreads_backend(graph& g, const exec_options& opt) {
     qs.push_back(
         std::make_unique<bounded_queue<prec>>(g.edge_at(e).opts.capacity));
 
+  pth_fail fl;
+  fl.queues.reserve(qs.size());
+  for (auto& q : qs) fl.queues.push_back(q.get());
+
   exec_result res;
   util::stopwatch sw;
   std::vector<std::vector<std::thread>> stage_threads(n);
@@ -353,19 +455,34 @@ exec_result run_pthreads_backend(graph& g, const exec_options& opt) {
     const unsigned in_depth = p.edge_depth[i - 1];
     auto* in = qs[i - 1].get();
     if (s.is_sink) {
-      stage_threads[i].emplace_back(
-          [&s, in_depth, in] { pth_sink_stage(s, in_depth, *in); });
+      stage_threads[i].emplace_back([&fl, &s, in_depth, in] {
+        try {
+          pth_sink_stage(s, in_depth, *in);
+        } catch (...) {
+          fl.fail(std::current_exception());
+        }
+      });
     } else {
       auto* out = qs[i].get();
       if (s.kind == stage_kind::serial_in_order) {
-        stage_threads[i].emplace_back(
-            [&s, in_depth, in, out] { pth_inorder_stage(s, in_depth, *in, *out); });
+        stage_threads[i].emplace_back([&fl, &s, in_depth, in, out] {
+          try {
+            pth_inorder_stage(s, in_depth, *in, *out);
+          } catch (...) {
+            fl.fail(std::current_exception());
+          }
+        });
       } else {
         const unsigned nthreads =
             s.kind == stage_kind::parallel ? workers : 1;
         for (unsigned t = 0; t < nthreads; ++t)
-          stage_threads[i].emplace_back(
-              [&s, in, out] { pth_worker_stage(s, *in, *out); });
+          stage_threads[i].emplace_back([&fl, &s, in, out] {
+            try {
+              pth_worker_stage(s, *in, *out);
+            } catch (...) {
+              fl.fail(std::current_exception());
+            }
+          });
       }
     }
   }
@@ -375,8 +492,9 @@ exec_result run_pthreads_backend(graph& g, const exec_options& opt) {
     const stage_rec& src = g.stage_at(p.order[0]);
     struct src_ctx {
       bounded_queue<prec>* q;
+      void (*destroy)(void*);
       std::uint32_t seq = 0;
-    } c{qs[0].get()};
+    } c{qs[0].get(), src.destroy_out};
     erased_emit em;
     em.ctx = &c;
     em.fn = [](void* cp, void* tok) {
@@ -385,13 +503,23 @@ exec_result run_pthreads_backend(graph& g, const exec_options& opt) {
       r.path[0] = ctx->seq++;
       r.depth = 1;
       r.payload = tok;
-      ctx->q->push(r);
+      if (!ctx->q->push(r)) {
+        // Queue closed under us: a downstream stage failed. Stop producing.
+        if (ctx->destroy) ctx->destroy(tok);
+        throw src_abort{};
+      }
     };
-    src.run_heap(nullptr, em);
-    prec root;
-    root.is_count = true;
-    root.count = c.seq;
-    qs[0]->push(root);
+    try {
+      src.run_heap(nullptr, em);
+      prec root;
+      root.is_count = true;
+      root.count = c.seq;
+      (void)qs[0]->push(root);
+    } catch (const src_abort&) {
+      // Cancelled from elsewhere; that stage recorded the failure.
+    } catch (...) {
+      fl.fail(std::current_exception());
+    }
     qs[0]->close();
   }
 
@@ -400,6 +528,19 @@ exec_result run_pthreads_backend(graph& g, const exec_options& opt) {
     if (i < n - 1) qs[i]->close();
   }
   res.seconds = sw.seconds();
+
+  if (std::exception_ptr err = fl.take()) {
+    // All threads have exited; whatever is still buffered in the queues was
+    // abandoned mid-stream. Queue j carries the *output* tokens of stage
+    // order[j] — destroy the stranded payloads through that stage's hook.
+    for (std::size_t j = 0; j < qs.size(); ++j) {
+      const stage_rec& prod = g.stage_at(p.order[j]);
+      for (prec& r : qs[j]->drain())
+        if (!r.is_count && r.payload != nullptr && prod.destroy_out)
+          prod.destroy_out(r.payload);
+    }
+    std::rethrow_exception(err);
+  }
   return res;
 }
 
@@ -416,15 +557,42 @@ exec_result run_tbb_backend(graph& g, const exec_options& opt) {
   const unsigned workers = opt.workers ? opt.workers : 1;
   using toklist = std::vector<void*>;
 
+  // A filter's *input* is a gathered list whose elements are the previous
+  // stage's output tokens: the engine reclaims parked/queued lists through
+  // this hook when a failure cancels the run.
+  auto list_destroy = [](void (*elem)(void*)) {
+    return [elem](void* t) {
+      std::unique_ptr<toklist> list(static_cast<toklist*>(t));
+      if (elem)
+        for (void* v : *list) elem(v);
+    };
+  };
+
   bounded_queue<void*> feed(g.edge_at(p.edges[0]).opts.capacity);
+  std::exception_ptr feeder_err;
   std::thread feeder([&] {
     const stage_rec& src = g.stage_at(p.order[0]);
+    struct fctx {
+      bounded_queue<void*>* q;
+      void (*destroy)(void*);
+    } c{&feed, src.destroy_out};
     erased_emit em;
-    em.ctx = &feed;
-    em.fn = [](void* c, void* tok) {
-      static_cast<bounded_queue<void*>*>(c)->push(tok);
+    em.ctx = &c;
+    em.fn = [](void* cp, void* tok) {
+      auto* ctx = static_cast<fctx*>(cp);
+      if (!ctx->q->push(tok)) {
+        // Feed closed under us: the engine failed. Stop producing.
+        if (ctx->destroy) ctx->destroy(tok);
+        throw src_abort{};
+      }
     };
-    src.run_heap(nullptr, em);
+    try {
+      src.run_heap(nullptr, em);
+    } catch (const src_abort&) {
+      // Cancelled from elsewhere; the engine holds the failure.
+    } catch (...) {
+      feeder_err = std::current_exception();
+    }
     feed.close();
   });
 
@@ -439,36 +607,83 @@ exec_result run_tbb_backend(graph& g, const exec_options& opt) {
     auto mode = s.kind == stage_kind::parallel
                     ? tbbpipe::filter_mode::parallel
                     : tbbpipe::filter_mode::serial_in_order;
-    pl.add_filter(mode, [&s](void* t) -> void* {
-      auto* list = static_cast<toklist*>(t);
-      toklist next;
-      next.reserve(list->size());
-      erased_emit em;
-      em.ctx = &next;
-      em.fn = [](void* c, void* tok) {
-        static_cast<toklist*>(c)->push_back(tok);
-      };
-      for (void* v : *list) s.run_heap(v, em);
-      *list = std::move(next);
-      return list;
-    });
+    pl.add_filter(
+        mode,
+        [&s](void* t) -> void* {
+          std::unique_ptr<toklist> list(static_cast<toklist*>(t));
+          toklist next;
+          next.reserve(list->size());
+          erased_emit em;
+          em.ctx = &next;
+          em.fn = [](void* c, void* tok) {
+            static_cast<toklist*>(c)->push_back(tok);
+          };
+          // run_heap consumes its input even on throw, so on failure the
+          // leak set is exactly: outputs already gathered, plus the inputs
+          // not yet consumed (everything after index `done`).
+          std::size_t done = 0;
+          try {
+            for (void* v : *list) {
+              s.run_heap(v, em);
+              ++done;
+            }
+          } catch (...) {
+            if (s.destroy_out)
+              for (void* o : next) s.destroy_out(o);
+            if (s.destroy_in)
+              for (std::size_t k = done + 1; k < list->size(); ++k)
+                s.destroy_in((*list)[k]);
+            throw;
+          }
+          *list = std::move(next);
+          return list.release();
+        },
+        list_destroy(s.destroy_in));
   }
   {
     const stage_rec& snk = g.stage_at(p.order[n - 1]);
-    pl.add_filter(tbbpipe::filter_mode::serial_in_order,
-                  [&snk](void* t) -> void* {
-                    std::unique_ptr<toklist> list(static_cast<toklist*>(t));
-                    erased_emit none;
-                    for (void* v : *list) snk.run_heap(v, none);
-                    return nullptr;
-                  });
+    pl.add_filter(
+        tbbpipe::filter_mode::serial_in_order,
+        [&snk](void* t) -> void* {
+          std::unique_ptr<toklist> list(static_cast<toklist*>(t));
+          erased_emit none;
+          std::size_t done = 0;
+          try {
+            for (void* v : *list) {
+              snk.run_heap(v, none);
+              ++done;
+            }
+          } catch (...) {
+            if (snk.destroy_in)
+              for (std::size_t k = done + 1; k < list->size(); ++k)
+                snk.destroy_in((*list)[k]);
+            throw;
+          }
+          return nullptr;
+        },
+        list_destroy(snk.destroy_in));
   }
 
   exec_result res;
   util::stopwatch sw;
-  pl.run(opt.max_tokens ? opt.max_tokens : 4 * std::size_t{workers}, workers);
+  std::exception_ptr run_err;
+  try {
+    pl.run(opt.max_tokens ? opt.max_tokens : 4 * std::size_t{workers}, workers);
+  } catch (...) {
+    run_err = std::current_exception();
+  }
   res.seconds = sw.seconds();
+  // Unblock and retire the feeder (a failed engine stops pulling from the
+  // feed), then reclaim whatever it had buffered.
+  feed.close();
   feeder.join();
+  {
+    const stage_rec& src = g.stage_at(p.order[0]);
+    for (void* tok : feed.drain())
+      if (src.destroy_out) src.destroy_out(tok);
+  }
+  if (run_err) std::rethrow_exception(run_err);
+  if (feeder_err) std::rethrow_exception(feeder_err);
   return res;
 }
 
@@ -570,9 +785,24 @@ app_run run_app(const std::string& name, backend b, const app_params& p,
     opt.workers = p.workers;
     opt.seed = p.seed;
   }
-  out.exec = execute(g, b, opt);
-  out.digest = inst->digest();
-  out.ok = out.digest == out.reference;
+  // A failing run is a reportable result, not a crash of the harness: map
+  // the backend's rethrown exception onto exec.outcome/error. The digest is
+  // left empty (partial output must not masquerade as a result), so ok
+  // stays false. graph_error still propagates — a miswired pipeline is a
+  // caller bug, not a run outcome.
+  try {
+    out.exec = execute(g, b, opt);
+    out.digest = inst->digest();
+    out.ok = out.digest == out.reference;
+  } catch (const graph_error&) {
+    throw;
+  } catch (const stall_error& e) {
+    out.exec.outcome = run_outcome::stalled;
+    out.exec.error = e.what();
+  } catch (const std::exception& e) {
+    out.exec.outcome = run_outcome::failed;
+    out.exec.error = e.what();
+  }
   return out;
 }
 

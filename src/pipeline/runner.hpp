@@ -56,8 +56,19 @@ struct exec_options {
   const scheduler::placement_config* placement = nullptr;
 };
 
+/// How a run ended. `failed` covers stage exceptions (including injected
+/// faults, core/fault.hpp) and allocation failures; `stalled` means the
+/// watchdog (sched/watchdog.hpp) cancelled a hung run.
+enum class run_outcome { ok, failed, stalled };
+
+[[nodiscard]] const char* to_string(run_outcome o) noexcept;
+
 struct exec_result {
   double seconds = 0;
+  run_outcome outcome = run_outcome::ok;
+  /// what() of the failure when outcome != ok (filled by run_app; execute()
+  /// itself throws instead).
+  std::string error;
   /// Hyperqueue backend only: pool counters summed over the chain's queues
   /// and the peak live segment count (zero-steady-state-alloc probes).
   seg_pool_stats pool;
@@ -68,6 +79,10 @@ struct exec_result {
 };
 
 /// Run `g` on `b`. Throws graph_error if the description doesn't compile.
+/// A stage body that throws cancels the run on every backend: in-flight
+/// tokens are reclaimed, worker threads drain out, and the first exception
+/// is rethrown here on the calling thread (run_app instead catches it and
+/// reports it through exec_result::outcome/error).
 exec_result execute(graph& g, backend b, const exec_options& opt = {});
 
 // ---- app registry ----------------------------------------------------------
@@ -103,7 +118,10 @@ struct app_run {
   exec_result exec;
   std::string digest;     ///< this run's output digest
   std::string reference;  ///< serial-elision digest for (app, seed, quick)
-  bool ok = false;        ///< digest == reference
+  /// digest == reference. False whenever exec.outcome != run_outcome::ok
+  /// (a failed run leaves digest empty rather than reporting partial
+  /// output as if it were a result).
+  bool ok = false;
 };
 
 /// Build app `name` with `p`, run it on `b`, and gate the result against

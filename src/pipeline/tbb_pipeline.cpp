@@ -1,13 +1,16 @@
 #include "pipeline/tbb_pipeline.hpp"
 
 #include <cassert>
+#include <utility>
 
 namespace hq::tbbpipe {
 
-void pipeline::add_filter(filter_mode mode, std::function<void*(void*)> fn) {
+void pipeline::add_filter(filter_mode mode, std::function<void*(void*)> fn,
+                          std::function<void(void*)> destroy) {
   filter f;
   f.mode = mode;
   f.fn = std::move(fn);
+  f.destroy = std::move(destroy);
   filters_.push_back(std::move(f));
 }
 
@@ -18,6 +21,8 @@ void pipeline::run(std::size_t max_tokens, unsigned num_threads) {
   next_token_seq_ = 0;
   in_flight_ = 0;
   input_done_ = false;
+  err_ = nullptr;
+  cancelled_.store(false, std::memory_order_relaxed);
   for (auto& f : filters_) {
     f.next_seq = 0;
     f.busy = false;
@@ -29,6 +34,40 @@ void pipeline::run(std::size_t max_tokens, unsigned num_threads) {
     pool.emplace_back([this] { worker_loop(); });
   }
   for (auto& t : pool) t.join();
+  // All workers drained: in_flight_ == 0, so every token was either retired
+  // or reclaimed. Surface the first failure on the calling thread and leave
+  // the pipeline reusable.
+  std::exception_ptr err = std::exchange(err_, nullptr);
+  cancelled_.store(false, std::memory_order_relaxed);
+  if (err) std::rethrow_exception(err);
+}
+
+void pipeline::destroy_input_locked(std::size_t idx, void* data) {
+  assert(idx < filters_.size());
+  if (filters_[idx].destroy) filters_[idx].destroy(data);
+}
+
+void pipeline::fail_locked(std::exception_ptr e) {
+  if (!err_) err_ = std::move(e);
+  cancelled_.store(true, std::memory_order_release);
+  input_done_ = true;  // the source admits no further tokens
+  // Reclaim queued and parked tokens: nothing will run them (the workers
+  // stop carrying on the cancel flag, and a failed serial filter never
+  // releases its successors), so destroy them here to let in_flight_ reach
+  // zero and the worker pool drain.
+  for (auto& t : ready_) {
+    destroy_input_locked(t.next_filter, t.data);
+    --in_flight_;
+  }
+  ready_.clear();
+  for (std::size_t i = 0; i < filters_.size(); ++i) {
+    for (auto& [seq, data] : filters_[i].parked) {
+      destroy_input_locked(i, data);
+      --in_flight_;
+    }
+    filters_[i].parked.clear();
+  }
+  cv_.notify_all();
 }
 
 bool pipeline::try_take(token* out) {
@@ -47,7 +86,17 @@ bool pipeline::try_take(token* out) {
       const std::uint64_t seq = next_token_seq_++;
       ++in_flight_;
       lk.unlock();
-      void* data = src.fn(nullptr);
+      void* data = nullptr;
+      try {
+        data = src.fn(nullptr);
+      } catch (...) {
+        lk.lock();
+        src.busy = false;
+        src.next_seq = seq + 1;
+        --in_flight_;
+        fail_locked(std::current_exception());
+        continue;
+      }
       lk.lock();
       src.busy = false;
       src.next_seq = seq + 1;
@@ -56,6 +105,13 @@ bool pipeline::try_take(token* out) {
         --in_flight_;
         cv_.notify_all();
         continue;  // someone else may still have parked work
+      }
+      if (cancelled_.load(std::memory_order_relaxed)) {
+        // Produced across a cancellation: reclaim instead of dispatching.
+        destroy_input_locked(1, data);
+        --in_flight_;
+        cv_.notify_all();
+        continue;
       }
       *out = token{seq, data, 1};
       cv_.notify_one();  // capacity may allow another token
@@ -79,15 +135,36 @@ void pipeline::worker_loop() {
         cv_.notify_all();
         break;
       }
+      if (cancelled_.load(std::memory_order_relaxed)) {
+        // Cooperative cancellation: stop carrying, reclaim the token.
+        std::lock_guard<std::mutex> lk(mu_);
+        destroy_input_locked(tok.next_filter, tok.data);
+        --in_flight_;
+        cv_.notify_all();
+        break;
+      }
       filter& f = filters_[tok.next_filter];
       if (f.mode == filter_mode::parallel) {
-        tok.data = f.fn(tok.data);
+        try {
+          tok.data = f.fn(tok.data);
+        } catch (...) {
+          std::lock_guard<std::mutex> lk(mu_);
+          --in_flight_;
+          fail_locked(std::current_exception());
+          break;
+        }
         ++tok.next_filter;
         continue;
       }
       // serial_in_order: admit strictly by sequence, one token at a time.
       {
         std::unique_lock<std::mutex> lk(mu_);
+        if (cancelled_.load(std::memory_order_relaxed)) {
+          destroy_input_locked(tok.next_filter, tok.data);
+          --in_flight_;
+          cv_.notify_all();
+          break;
+        }
         if (f.busy || tok.seq != f.next_seq) {
           f.parked.emplace(tok.seq, tok.data);
           carrying = false;  // go find other work
@@ -95,7 +172,15 @@ void pipeline::worker_loop() {
         }
         f.busy = true;
       }
-      tok.data = f.fn(tok.data);
+      try {
+        tok.data = f.fn(tok.data);
+      } catch (...) {
+        std::lock_guard<std::mutex> lk(mu_);
+        f.busy = false;
+        --in_flight_;
+        fail_locked(std::current_exception());
+        break;
+      }
       {
         std::lock_guard<std::mutex> lk(mu_);
         f.busy = false;

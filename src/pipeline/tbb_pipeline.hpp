@@ -9,12 +9,20 @@
 // scale-freedom critique of the paper (Section 7.1).
 //
 // The engine is type-erased (void* items); make_filter() adds a typed shim.
+//
+// Failure semantics: a filter that throws cancels the run. The engine
+// records the first exception, stops admitting source tokens, reclaims
+// every queued/parked token through the filters' destroy hooks (so
+// in_flight_ can reach zero and the workers drain out), and run() rethrows
+// on the calling thread. Filters must consume their input even when they
+// throw — the typed shim (make_filter) guarantees this via unique_ptr.
 #pragma once
 
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <exception>
 #include <functional>
 #include <map>
 #include <memory>
@@ -36,9 +44,16 @@ class pipeline {
   pipeline(const pipeline&) = delete;
   pipeline& operator=(const pipeline&) = delete;
 
-  void add_filter(filter_mode mode, std::function<void*(void*)> fn);
+  /// @param destroy destroys one of this filter's *input* items; used to
+  ///   reclaim tokens queued or parked at the filter when a failure tears
+  ///   the run down (may be empty for filters whose input is never a live
+  ///   heap token, e.g. the source).
+  void add_filter(filter_mode mode, std::function<void*(void*)> fn,
+                  std::function<void(void*)> destroy = {});
 
-  /// Execute until the source is exhausted and all tokens retired.
+  /// Execute until the source is exhausted and all tokens retired. If any
+  /// filter threw, rethrows the first such exception after the worker pool
+  /// has drained and every in-flight token has been reclaimed.
   /// @param max_tokens maximum tokens in flight (TBB's pipeline capacity)
   /// @param num_threads worker thread count
   void run(std::size_t max_tokens, unsigned num_threads);
@@ -47,6 +62,7 @@ class pipeline {
   struct filter {
     filter_mode mode;
     std::function<void*(void*)> fn;
+    std::function<void(void*)> destroy;  // destroys one *input* item
     // serial_in_order state:
     std::uint64_t next_seq = 0;
     bool busy = false;
@@ -61,6 +77,11 @@ class pipeline {
 
   void worker_loop();
   bool try_take(token* out);
+  /// Record the first failure, stop the source, and reclaim every queued
+  /// and parked token so in_flight_ can reach zero. Caller holds mu_.
+  void fail_locked(std::exception_ptr e);
+  /// Destroy one token waiting to *enter* filters_[idx]. Caller holds mu_.
+  void destroy_input_locked(std::size_t idx, void* data);
 
   std::vector<filter> filters_;
   std::mutex mu_;
@@ -70,6 +91,8 @@ class pipeline {
   std::size_t in_flight_ = 0;
   std::size_t max_tokens_ = 1;
   bool input_done_ = false;
+  std::exception_ptr err_;               // first failure (guarded by mu_)
+  std::atomic<bool> cancelled_{false};   // lock-free poll for carrying workers
 };
 
 /// Typed filter shim: wraps In* -> Out* functions over the void* engine.

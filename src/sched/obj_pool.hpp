@@ -49,6 +49,7 @@
 
 #include "conc/cache.hpp"
 #include "conc/spinlock.hpp"
+#include "core/fault.hpp"
 #include "core/numa.hpp"
 
 namespace hq::detail {
@@ -281,6 +282,7 @@ class obj_pool {
   /// mapping a fresh node-bound slab when exhausted.
   void* carve(magazine& m) {
     if (m.slab_pos == m.slab_end) {
+      if (fault::failpoint("pool.slab")) throw std::bad_alloc();
       void* slab = numa::alloc(kSlabBytes, kSlabBytes, m.home_node);
       static_cast<slab_header*>(slab)->node = m.home_node;
       m.slabs.push_back(slab);

@@ -4,6 +4,8 @@
 #include <cassert>
 #include <chrono>
 #include <cstdlib>
+#include <optional>
+#include <utility>
 
 #if defined(__linux__)
 #include <pthread.h>
@@ -11,6 +13,7 @@
 #endif
 
 #include "core/queue_cb.hpp"  // qattach, for nesting safety + the attach pool
+#include "sched/watchdog.hpp"
 
 namespace hq {
 
@@ -45,6 +48,16 @@ std::size_t pool_cap_from_env() {
   return 4096;
 }
 
+/// HQ_WATCHDOG_MS: no-progress interval (milliseconds) after which a run is
+/// cancelled with a stall diagnostic. 0 / unset = disabled.
+unsigned watchdog_ms_from_env() {
+  if (const char* env = std::getenv("HQ_WATCHDOG_MS")) {
+    const long v = std::atol(env);
+    if (v > 0) return static_cast<unsigned>(v);
+  }
+  return 0;
+}
+
 }  // namespace
 
 scheduler::scheduler(unsigned num_workers)
@@ -58,6 +71,7 @@ scheduler::scheduler(unsigned num_workers, placement_config cfg) {
   }
   topo_ = cfg.topo != nullptr ? *cfg.topo : topology::detect();
   policy_ = cfg.policy;
+  watchdog_ms_ = watchdog_ms_from_env();
 
   // Worker -> CPU assignment: explicit list (benches building exact
   // pairings) or the deterministic policy plan; empty means unplaced.
@@ -163,19 +177,49 @@ void scheduler::run_root(task_fn fn) {
   }
   task_frame* root = alloc_frame(nullptr);
   root->fn = std::move(fn);
-  root->completion_hooks.push_back(hook_fn([this] {
-    {
-      std::lock_guard<std::mutex> lk(done_mu_);
-      root_done_ = true;
-    }
-    done_cv_.notify_all();
-  }));
+  // finish() signals done_cv_ for the parentless root frame after freeing
+  // it (not via a completion hook, which would run pre-free): once the wait
+  // below returns, no frame is live and no scheduler work is in flight.
+  // Arm the stall watchdog for the duration of this run (HQ_WATCHDOG_MS /
+  // set_watchdog). Its monitor thread cancels a no-progress run with a
+  // stall_error diagnostic, which surfaces through the rethrow below.
+  std::optional<watchdog> dog;
+  if (watchdog_ms_ > 0) {
+    watchdog::options wo;
+    wo.interval = std::chrono::milliseconds(watchdog_ms_);
+    wo.grace_intervals = watchdog_grace_;
+    dog.emplace(*this, wo);
+  }
   // Release the spawn guard: the root has no dependences.
   if (root->pending_deps.fetch_sub(1, std::memory_order_acq_rel) == 1) {
     enqueue(root);
   }
-  std::unique_lock<std::mutex> lk(done_mu_);
-  done_cv_.wait(lk, [&] { return root_done_; });
+  {
+    std::unique_lock<std::mutex> lk(done_mu_);
+    done_cv_.wait(lk, [&] { return root_done_; });
+  }
+  dog.reset();
+  // Surface the run's first failure on the calling thread. The root has
+  // completed, so every frame was executed (bodies skipped once cancelling)
+  // and every queue torn down — resetting the epoch leaves the scheduler
+  // ready for the next run().
+  std::exception_ptr err;
+  {
+    std::lock_guard<std::mutex> lk(failure_mu_);
+    err = std::exchange(failure_, nullptr);
+  }
+  cancelled_.store(false, std::memory_order_release);
+  if (err) std::rethrow_exception(err);
+}
+
+void scheduler::record_failure(std::exception_ptr e) noexcept {
+  {
+    std::lock_guard<std::mutex> lk(failure_mu_);
+    if (!failure_) failure_ = std::move(e);
+  }
+  cancelled_.store(true, std::memory_order_release);
+  // Parked workers wake within their 10ms safety-net timeout and then help
+  // drain the (body-skipping) remainder; no extra signalling needed.
 }
 
 void scheduler::enqueue(task_frame* t) {
@@ -332,10 +376,26 @@ void scheduler::execute(task_frame* t) {
   w->current = t;
   w->counters.executed.fetch_add(1, std::memory_order_relaxed);
 
-  t->fn();
+  // The failure guard. Cost when nothing throws: one relaxed load and a
+  // zero-overhead (table-driven) try region around the existing basic_fn
+  // invoke — no allocation, nothing added to the spawn path. Once the run
+  // is cancelling, frames skip their bodies entirely: the completion
+  // protocol below still runs, so join counters, completion hooks (queue
+  // shard reduction) and attachments unwind exactly as on success.
+  if (!cancelled_.load(std::memory_order_relaxed)) [[likely]] {
+    try {
+      t->fn();
+    } catch (const detail::cancel_unwind&) {
+      // A cancellable wait unwound this body; the originating failure is
+      // already in the slot.
+    } catch (...) {
+      record_failure(std::current_exception());
+    }
+  }
   // Implicit sync: a task returns only once all its children completed
   // (Cilk semantics; required for the hyperqueue view cascade, which merges
-  // children views bottom-up).
+  // children views bottom-up). Not cancellable: children always complete
+  // (their bodies skip once cancelling), and the view cascade needs them.
   wait_until([t] { return t->live_children.load(std::memory_order_acquire) == 0; });
   t->fn.reset();
   finish(t);
@@ -363,6 +423,14 @@ void scheduler::finish(task_frame* t) {
   free_frame(t);
   if (parent != nullptr) {
     parent->live_children.fetch_sub(1, std::memory_order_release);
+  } else {
+    // The root (the only parentless frame): wake run_root after the frame
+    // is recycled, so run() returning means the pools are quiescent.
+    {
+      std::lock_guard<std::mutex> lk(done_mu_);
+      root_done_ = true;
+    }
+    done_cv_.notify_all();
   }
 }
 
@@ -435,6 +503,7 @@ std::vector<scheduler::worker_stats_t> scheduler::per_worker_stats() const {
     s.steal_attempts =
         w->counters.steal_attempts.load(std::memory_order_relaxed);
     s.helps = w->counters.helps.load(std::memory_order_relaxed);
+    s.deque_depth = w->deque.size_estimate();
     out.push_back(s);
   }
   return out;

@@ -32,6 +32,7 @@
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <exception>
 #include <memory>
 #include <mutex>
 #include <new>
@@ -117,6 +118,12 @@ class scheduler {
 
   /// Execute `f` as the root task and block until it (and all transitively
   /// spawned tasks) complete. Must not be called from inside a task.
+  ///
+  /// Failure semantics: the first exception a task body throws is captured
+  /// into the scheduler's failure slot, flips the cancellation epoch (so
+  /// remaining frames skip their bodies and blocking waits unwind), and is
+  /// rethrown here on the calling thread once the root completes. The
+  /// scheduler and its pools stay consistent — the next run() starts clean.
   template <typename F>
   void run(F&& f) {
     run_root(task_fn(std::forward<F>(f)));
@@ -157,12 +164,51 @@ class scheduler {
     std::uint64_t steals = 0;
     std::uint64_t steal_attempts = 0;
     std::uint64_t helps = 0;
+    std::size_t deque_depth = 0;  ///< ready frames on the worker's deque
   };
   [[nodiscard]] std::vector<worker_stats_t> per_worker_stats() const;
 
   /// The topology model this scheduler placed against.
   [[nodiscard]] const topology& topo() const noexcept { return topo_; }
   [[nodiscard]] placement_policy policy() const noexcept { return policy_; }
+
+  // ------------- failure propagation / cooperative cancellation -----------
+
+  /// Record the first failure of the current run (first-failure-wins) and
+  /// flip the cancellation epoch: subsequent frames skip their bodies and
+  /// every cancellable blocking wait unwinds with detail::cancel_unwind.
+  /// Safe from any thread (workers, the watchdog monitor).
+  void record_failure(std::exception_ptr e) noexcept;
+
+  /// True once the current run is cancelling (a failure was recorded).
+  [[nodiscard]] bool cancelled() const noexcept {
+    return cancelled_.load(std::memory_order_acquire);
+  }
+
+  /// Unwind the calling task if the run is cancelling. Blocking loops that
+  /// run in destructor context (queue teardown) must NOT call this.
+  void throw_if_cancelled() const {
+    if (cancelled()) [[unlikely]]
+      throw detail::cancel_unwind{};
+  }
+
+  /// Stall-watchdog knob (also set from HQ_WATCHDOG_MS at construction):
+  /// when nonzero, every run() is monitored and a no-progress interval of
+  /// this many milliseconds cancels the run with a hq::stall_error carrying
+  /// a per-worker diagnostic dump (and aborts the process if cancellation
+  /// itself makes no progress for `grace` further intervals).
+  void set_watchdog(unsigned ms, unsigned grace_intervals = 8) noexcept {
+    watchdog_ms_ = ms;
+    watchdog_grace_ = grace_intervals;
+  }
+
+  // Run-state introspection for the watchdog's diagnostic dump.
+  [[nodiscard]] std::size_t injector_depth() const noexcept {
+    return inj_count_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] int idle_workers() const noexcept {
+    return num_idle_.load(std::memory_order_relaxed);
+  }
 
   /// Home NUMA node of the calling worker thread (-1 on external threads or
   /// under policy none). Memory arenas default to this node so allocations
@@ -219,11 +265,29 @@ class scheduler {
   /// could be obtained (the caller should back off).
   bool help_one();
 
-  /// Help-while-blocked wait: run ready tasks until `p()` holds.
+  /// Help-while-blocked wait: run ready tasks until `p()` holds. Does not
+  /// unwind on cancellation — used where the wait must complete regardless
+  /// (the implicit sync in execute(), queue teardown in detach_owner).
   template <typename Pred>
   void wait_until(Pred&& p) {
     backoff bo;
     while (!p()) {
+      if (help_one()) {
+        bo.reset();
+      } else {
+        bo.pause();
+      }
+    }
+  }
+
+  /// Cancellable variant for user-facing waits (hq::sync, call, queue data
+  /// waits): identical help-while-blocked loop, but once the run cancels it
+  /// throws detail::cancel_unwind so no blocking wait outlives a failure.
+  template <typename Pred>
+  void wait_until_cancellable(Pred&& p) {
+    backoff bo;
+    while (!p()) {
+      throw_if_cancelled();
       if (help_one()) {
         bo.reset();
       } else {
@@ -281,6 +345,16 @@ class scheduler {
   std::mutex done_mu_;
   std::condition_variable done_cv_;
   bool root_done_ = false;
+
+  // Failure slot (first-failure-wins) + cancellation epoch, reset by
+  // run_root after rethrowing so the scheduler is reusable.
+  std::mutex failure_mu_;
+  std::exception_ptr failure_;
+  std::atomic<bool> cancelled_{false};
+
+  // Stall watchdog (see set_watchdog / HQ_WATCHDOG_MS). 0 = disabled.
+  unsigned watchdog_ms_ = 0;
+  unsigned watchdog_grace_ = 8;
 };
 
 }  // namespace hq

@@ -41,6 +41,8 @@ auto resolve_spawn_arg(task_frame* fr, A&& a) {
   }
 }
 
+inline void launch(task_frame* fr);
+
 /// Create a child frame with the closure bound and dependences registered,
 /// but the spawn guard still held. Callers must launch() it.
 template <typename F, typename... Args>
@@ -51,13 +53,24 @@ task_frame* make_task(F&& f, Args&&... args) {
   task_frame* parent = w->current;
   task_frame* fr = w->sched->alloc_frame(parent);  // per-worker magazine pool
   parent->live_children.fetch_add(1, std::memory_order_relaxed);
-  // Build the argument tuple; wrapper resolution registers dependences and
-  // performs hyperqueue view transfers for this spawn.
-  auto bound = std::tuple(resolve_spawn_arg(fr, std::forward<Args>(args))...);
-  fr->fn = task_fn(
-      [func = std::decay_t<F>(std::forward<F>(f)), tup = std::move(bound)]() mutable {
-        std::apply(func, std::move(tup));
-      });
+  try {
+    // Build the argument tuple; wrapper resolution registers dependences and
+    // performs hyperqueue view transfers for this spawn.
+    auto bound = std::tuple(resolve_spawn_arg(fr, std::forward<Args>(args))...);
+    fr->fn = task_fn(
+        [func = std::decay_t<F>(std::forward<F>(f)), tup = std::move(bound)]() mutable {
+          std::apply(func, std::move(tup));
+        });
+  } catch (...) {
+    // Argument resolution threw (e.g. an injected allocation failure in the
+    // attach pool) with shards/hooks possibly already half-registered on fr
+    // and the parent's join counter bumped. Run the frame as a no-op: the
+    // completion protocol unwinds whatever was registered and balances the
+    // counter, keeping queue state and pools consistent during the rethrow.
+    fr->fn = task_fn([] {});
+    launch(fr);
+    throw;
+  }
   w->counters.spawns.fetch_add(1, std::memory_order_relaxed);
   return fr;
 }
@@ -80,12 +93,14 @@ void spawn(F&& f, Args&&... args) {
 }
 
 /// Wait until all children spawned by the calling task have completed.
-/// The worker helps execute ready tasks while waiting.
+/// The worker helps execute ready tasks while waiting. Cancellable: once a
+/// failure cancels the run this unwinds with detail::cancel_unwind (the
+/// implicit sync at task return still joins the children).
 inline void sync() {
   detail::worker_ctx* w = detail::t_worker;
   assert(w != nullptr && w->current != nullptr && "sync() outside a task");
   detail::task_frame* f = w->current;
-  w->sched->wait_until(
+  w->sched->wait_until_cancellable(
       [f] { return f->live_children.load(std::memory_order_acquire) == 0; });
 }
 
@@ -105,6 +120,9 @@ void call(F&& f, Args&&... args) {
   fr->completion_hooks.push_back(
       hook_fn([&done] { done.store(true, std::memory_order_release); }));
   detail::launch(fr);
+  // Deliberately NOT cancellable: the completion hook writes into this
+  // stack frame, so the wait must outlive the callee. Under cancellation
+  // the callee's body is skipped and completes promptly anyway.
   w->sched->wait_until([&] { return done.load(std::memory_order_acquire); });
 }
 

@@ -24,6 +24,13 @@ namespace detail {
 
 struct qattach;  // defined in core/queue_cb.hpp
 
+/// Thrown by cancellable blocking waits (hq::sync, queue wait_data, fault
+/// stalls) once the scheduler's cancellation epoch flips after a failure.
+/// Deliberately NOT derived from std::exception: stage bodies that catch
+/// std::exception must not swallow the unwind. The execute() guard absorbs
+/// it; it never escapes scheduler::run().
+struct cancel_unwind {};
+
 struct task_frame {
   task_frame(scheduler* s, task_frame* p)
       : sched(s), parent(p), depth(p ? p->depth + 1 : 0) {}
