@@ -27,6 +27,12 @@ struct bench_row {
   double ns_per_op = 0;         // wall-clock per iteration
   double items_per_second = 0;  // 0 when the bench reports no item counter
   std::uint64_t iterations = 0;
+  // Latency percentiles (core/latency.hpp histograms), populated by
+  // harnesses that measure per-item sojourn rather than throughput; all
+  // zero when the bench reports none (the JSON fields are then omitted).
+  std::uint64_t p50_ns = 0;
+  std::uint64_t p99_ns = 0;
+  std::uint64_t p999_ns = 0;
 };
 
 /// ConsoleReporter that additionally collects per-benchmark rows (real time;
@@ -119,10 +125,17 @@ bool write_micro_json(const micro_bench_options& opt, const char* bench_name,
     const bench_row& r = rows[i];
     std::fprintf(f,
                  "    {\"name\": \"%s\", \"ns_per_op\": %.1f, "
-                 "\"items_per_second\": %.0f, \"iterations\": %llu}%s\n",
+                 "\"items_per_second\": %.0f, \"iterations\": %llu",
                  r.name.c_str(), r.ns_per_op, r.items_per_second,
-                 static_cast<unsigned long long>(r.iterations),
-                 i + 1 < rows.size() ? "," : "");
+                 static_cast<unsigned long long>(r.iterations));
+    if (r.p50_ns || r.p99_ns || r.p999_ns) {
+      std::fprintf(f,
+                   ", \"p50_ns\": %llu, \"p99_ns\": %llu, \"p999_ns\": %llu",
+                   static_cast<unsigned long long>(r.p50_ns),
+                   static_cast<unsigned long long>(r.p99_ns),
+                   static_cast<unsigned long long>(r.p999_ns));
+    }
+    std::fprintf(f, "}%s\n", i + 1 < rows.size() ? "," : "");
   }
   std::fprintf(f, "  ],\n");
   extra(f);

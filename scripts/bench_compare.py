@@ -47,6 +47,14 @@ def load_results(path):
                 if key in run:
                     name = f"{app['app']}/w{run['workers']}/{key[:-2]}"
                     rows[name] = {"name": name, "ns_per_op": run[key] * 1e9}
+    # BENCH_service.json shape: {"points": [{"load", "policy", "p99_ns",
+    # ...}]} — gate on admitted-request p99. The percentile comes from the
+    # virtual-time model, a pure function of the seed: any drift is a
+    # semantic change in admission/queueing, not runner jitter, so these
+    # records gate at a tight threshold.
+    for pt in doc.get("points", []):
+        name = f"service/{pt['policy']}@{pt['load']:g}"
+        rows[name] = {"name": name, "ns_per_op": float(pt.get("p99_ns", 0))}
     return doc, rows
 
 

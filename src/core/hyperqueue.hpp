@@ -387,6 +387,20 @@ class hyperqueue {
     attach_or_release();
   }
 
+  /// As above, plus a memory budget: cap the queue's live segment footprint
+  /// at roughly `memory_budget_bytes` (0 = the HQ_QUEUE_BUDGET environment
+  /// default, itself unlimited when unset). Producers that would grow the
+  /// queue past the cap block cooperatively until the consumer recycles
+  /// segments — deterministic backpressure, not data loss. Budgets below
+  /// the structural minimum are enforced at it.
+  hyperqueue(std::size_t segment_length, int home_node,
+             std::uint64_t memory_budget_bytes)
+      : cb_(new detail::queue_cb(detail::make_element_ops<T>(), segment_length,
+                                 memory_budget_bytes)) {
+    cb_->set_home_node(home_node);
+    attach_or_release();
+  }
+
   hyperqueue(const hyperqueue&) = delete;
   hyperqueue& operator=(const hyperqueue&) = delete;
 
@@ -443,6 +457,19 @@ class hyperqueue {
   /// detail::queue_cb::set_home_node.
   void set_home_node(int node) { cb_->set_home_node(node); }
   [[nodiscard]] int home_node() const { return cb_->home_node(); }
+
+  /// Adjust (or clear, bytes == 0) the memory budget at run time. See
+  /// detail::queue_cb::set_memory_budget.
+  void set_memory_budget(std::uint64_t bytes) { cb_->set_memory_budget(bytes); }
+  [[nodiscard]] std::uint64_t memory_budget() const {
+    return cb_->memory_budget();
+  }
+  /// Bytes one segment occupies — the budget's accounting unit; the live
+  /// footprint in bytes is data_stats().live_bytes (= segments in use x
+  /// this).
+  [[nodiscard]] std::uint64_t segment_bytes() const {
+    return cb_->segment_bytes();
+  }
 
   // Selective sync (Section 5.5): suspend the calling task until its
   // children with the given access mode on this queue have completed.

@@ -51,12 +51,52 @@ struct seg_pool_stats {
   std::uint64_t high_water = 0;  ///< peak segments simultaneously in use
   std::uint64_t live = 0;        ///< currently allocated (in use + pooled)
 
-  /// Aggregate over a pipeline's queues (field-wise sum; high_water becomes
-  /// the sum of per-queue peaks, an upper bound on the combined peak).
+  // Byte-denominated footprint (the budget's own unit, so budgets can be
+  // audited without knowing segment geometry): in_use_bytes is segments in
+  // use x bytes per segment *now*, peak_bytes the same at the high-water
+  // mark, budget_bytes the configured cap (0 = unlimited).
+  std::uint64_t in_use_bytes = 0;
+  std::uint64_t peak_bytes = 0;
+  std::uint64_t budget_bytes = 0;
+
+  // Backpressure events: producer waits entered because the queue was at
+  // its memory budget, and the total wall time spent in them.
+  // budget_overruns counts waits that escaped over budget because no
+  // consumer could make recycle progress (see queue_cb::budget_wait) — 0
+  // whenever the consumer stays runnable, i.e. the cap held hard.
+  std::uint64_t throttle_waits = 0;
+  std::uint64_t throttle_ns = 0;
+  std::uint64_t budget_overruns = 0;
+
+  // Structural-exemption audit: shards_peak is the high-water count of
+  // simultaneously live producer shards, and exempt_peak_bytes =
+  // shards_peak x kShardMinSegs x segment bytes — the most the per-shard
+  // allocation floor can ever hold above budget_bytes. On any run with
+  // budget_overruns == 0, peak_bytes <= budget_bytes + exempt_peak_bytes
+  // is the hard invariant (tests assert exactly this; the shard peak makes
+  // the slack schedule-independent instead of a guessed constant).
+  std::uint64_t shards_peak = 0;
+  std::uint64_t exempt_peak_bytes = 0;
+
+  /// Aggregate over a pipeline's queues (field-wise sum; high_water /
+  /// peak_bytes become the sum of per-queue peaks, an upper bound on the
+  /// combined peak; budget_bytes the combined cap).
   friend seg_pool_stats operator+(const seg_pool_stats& a,
                                   const seg_pool_stats& b) {
-    return {a.allocated + b.allocated, a.recycled + b.recycled,
-            a.high_water + b.high_water, a.live + b.live};
+    seg_pool_stats r;
+    r.allocated = a.allocated + b.allocated;
+    r.recycled = a.recycled + b.recycled;
+    r.high_water = a.high_water + b.high_water;
+    r.live = a.live + b.live;
+    r.in_use_bytes = a.in_use_bytes + b.in_use_bytes;
+    r.peak_bytes = a.peak_bytes + b.peak_bytes;
+    r.budget_bytes = a.budget_bytes + b.budget_bytes;
+    r.throttle_waits = a.throttle_waits + b.throttle_waits;
+    r.throttle_ns = a.throttle_ns + b.throttle_ns;
+    r.budget_overruns = a.budget_overruns + b.budget_overruns;
+    r.shards_peak = a.shards_peak + b.shards_peak;
+    r.exempt_peak_bytes = a.exempt_peak_bytes + b.exempt_peak_bytes;
+    return r;
   }
 };
 
@@ -74,6 +114,7 @@ struct data_path_stats {
   std::uint64_t seg_cache_hits = 0; ///< segment allocs served lock-free
   std::uint64_t mu_attach = 0;      ///< attach_spawn took mu (pop FIFO only)
   std::uint64_t mu_complete = 0;    ///< completion took mu (pop hand-back only)
+  std::uint64_t live_bytes = 0;     ///< segments in use x bytes per segment
 };
 
 /// Per-(task, queue) bookkeeping. Owned by the queue control block; lives
@@ -142,7 +183,12 @@ struct qattach {
 
 /// Control block shared by a hyperqueue<T> and all wrappers referencing it.
 struct queue_cb {
-  queue_cb(element_ops o, std::uint64_t segment_capacity);
+  /// `budget_bytes` caps the queue's live segment footprint (backpressure,
+  /// see budget_wait). 0 means "use the HQ_QUEUE_BUDGET environment default"
+  /// (itself unlimited when unset); call set_memory_budget(0) afterwards to
+  /// force unlimited regardless of the environment.
+  queue_cb(element_ops o, std::uint64_t segment_capacity,
+           std::uint64_t budget_bytes = 0);
   ~queue_cb();
 
   queue_cb(const queue_cb&) = delete;
@@ -220,6 +266,14 @@ struct queue_cb {
     st.recycled = seg_recycled.load(std::memory_order_relaxed);
     st.high_water = seg_high_water.load(std::memory_order_relaxed);
     st.live = seg_live.load(std::memory_order_relaxed);
+    st.in_use_bytes = seg_in_use.load(std::memory_order_relaxed) * seg_bytes_;
+    st.peak_bytes = st.high_water * seg_bytes_;
+    st.budget_bytes = budget_bytes_.load(std::memory_order_relaxed);
+    st.throttle_waits = throttle_waits_.load(std::memory_order_relaxed);
+    st.throttle_ns = throttle_ns_.load(std::memory_order_relaxed);
+    st.budget_overruns = budget_overruns_.load(std::memory_order_relaxed);
+    st.shards_peak = shards_peak_.load(std::memory_order_relaxed);
+    st.exempt_peak_bytes = st.shards_peak * kShardMinSegs * seg_bytes_;
     return st;
   }
   [[nodiscard]] data_path_stats data_stats() const {
@@ -231,6 +285,7 @@ struct queue_cb {
     st.seg_cache_hits = dp_.seg_cache_hits.load(std::memory_order_relaxed);
     st.mu_attach = dp_.mu_attach.load(std::memory_order_relaxed);
     st.mu_complete = dp_.mu_complete.load(std::memory_order_relaxed);
+    st.live_bytes = seg_in_use.load(std::memory_order_relaxed) * seg_bytes_;
     return st;
   }
   [[nodiscard]] qattach* owner_attachment() { return owner; }
@@ -252,6 +307,29 @@ struct queue_cb {
     return home_node_.load(std::memory_order_relaxed);
   }
 
+  // ---- memory budget (backpressure) ---------------------------------------
+  /// Cap the queue's live segment footprint at roughly `bytes` (0 =
+  /// unlimited). Producers that would grow the queue past the cap enter a
+  /// cooperative, cancellable throttle wait instead (budget_wait). Budgets
+  /// below the structural minimum — kShardMinSegs segments per live producer
+  /// shard, which deadlock-freedom requires — are enforced at that minimum,
+  /// so any positive budget is safe and deterministic.
+  void set_memory_budget(std::uint64_t bytes) noexcept;
+  [[nodiscard]] std::uint64_t memory_budget() const noexcept {
+    return budget_bytes_.load(std::memory_order_relaxed);
+  }
+  /// Bytes one segment occupies (header + slots) — the budget's unit.
+  [[nodiscard]] std::uint64_t segment_bytes() const noexcept {
+    return seg_bytes_;
+  }
+
+  /// Per-shard allocation floor the budget never blocks: the consumer can
+  /// always drain any shard ahead of it down to its open tail segment, so a
+  /// producer holding fewer than this many live segments must be allowed to
+  /// link another one or backpressure could deadlock behind an unreachable
+  /// shard (see budget_wait in queue_cb.cpp for the full argument).
+  static constexpr std::uint32_t kShardMinSegs = 2;
+
   element_ops ops;
   const std::uint64_t seg_capacity;
 
@@ -262,6 +340,15 @@ struct queue_cb {
   void recycle_segment(segment* s);
   pshard* alloc_shard();
   void free_shard(pshard* sh);
+
+  /// Memory-budget throttle, called by producer paths before growing shard
+  /// `sh`'s chain. Blocks (pause-only, cancellable) while the queue is at
+  /// its budget — unless a structural exemption applies: the shard holds
+  /// fewer than kShardMinSegs segments, or the task also has pop privilege
+  /// (its own pops are what would free segments). Escapes over budget
+  /// (counted) when no consumer makes recycle progress, rather than
+  /// wedging a schedule that cannot interleave the consumer.
+  void budget_wait(qattach* a, pshard* sh);
 
   /// Splice `count` (1 or 2) pre-linked shards after the spawner's current
   /// shard `sp` and close it. first..last must already be chained via their
@@ -320,6 +407,26 @@ struct queue_cb {
   std::atomic<std::uint64_t> seg_recycled{0};
   std::atomic<std::uint64_t> seg_in_use{0};
   std::atomic<std::uint64_t> seg_high_water{0};
+
+  // Memory budget (see set_memory_budget / budget_wait). seg_bytes_ is the
+  // per-segment footprint fixed at construction; budget_segs_ the cap
+  // translated into segments (0 = unlimited), what the throttle actually
+  // compares against seg_in_use.
+  const std::uint64_t seg_bytes_;
+  std::atomic<std::uint64_t> budget_bytes_{0};
+  std::atomic<std::uint64_t> budget_segs_{0};
+  std::atomic<std::uint64_t> throttle_waits_{0};
+  std::atomic<std::uint64_t> throttle_ns_{0};
+  std::atomic<std::uint64_t> budget_overruns_{0};
+  // Live / high-water producer-shard population: each live shard may hold
+  // up to kShardMinSegs budget-exempt segments, so the peak bounds how far
+  // above the budget an overrun-free run can legitimately sit.
+  std::atomic<std::uint64_t> shards_live_{0};
+  std::atomic<std::uint64_t> shards_peak_{0};
+  /// Yield-phase iterations without any recycle progress before a budget
+  /// wait escapes over budget instead of risking a wedged schedule (only
+  /// reached when no worker can run the consumer; see budget_wait).
+  static constexpr std::uint32_t kBudgetPatience = 1024;
 
   /// Slow-event counters (see data_path_stats); segments hold a pointer.
   mutable data_path_counters dp_;

@@ -17,7 +17,18 @@ std::size_t segment_alignment(const element_ops* ops) {
   return ops->align > align ? ops->align : align;
 }
 
+std::size_t padded_header(const element_ops* ops) {
+  const std::size_t elem_align = ops->align > alignof(segment) ? ops->align
+                                                               : alignof(segment);
+  return (sizeof(segment) + elem_align - 1) / elem_align * elem_align;
+}
+
 }  // namespace
+
+std::size_t segment::footprint_bytes(std::uint64_t capacity,
+                                     const element_ops* ops) noexcept {
+  return padded_header(ops) + capacity * ops->size;
+}
 
 segment* segment::create(std::uint64_t capacity, const element_ops* ops,
                          data_path_counters* counters, int node) {
@@ -25,9 +36,7 @@ segment* segment::create(std::uint64_t capacity, const element_ops* ops,
   if (fault::failpoint("segment.alloc")) throw std::bad_alloc();
   // One allocation: [segment header | padding to element alignment | slots].
   const std::size_t align = segment_alignment(ops);
-  const std::size_t elem_align = ops->align > alignof(segment) ? ops->align
-                                                               : alignof(segment);
-  const std::size_t header = (sizeof(segment) + elem_align - 1) / elem_align * elem_align;
+  const std::size_t header = padded_header(ops);
   const std::size_t bytes = header + capacity * ops->size;
   std::byte* raw;
   std::size_t map_bytes = 0;

@@ -141,6 +141,13 @@ class segment {
   /// Free the segment's memory. Remaining elements must have been destroyed.
   static void destroy(segment* s);
 
+  /// Bytes one segment of `capacity` slots occupies (header + alignment
+  /// padding + slot array) — the unit of queue memory-budget accounting
+  /// (queue_cb). Matches what create() actually allocates on the heap path;
+  /// node-homed arenas round up to pages on top of this.
+  static std::size_t footprint_bytes(std::uint64_t capacity,
+                                     const element_ops* ops) noexcept;
+
   segment(const segment&) = delete;
   segment& operator=(const segment&) = delete;
 

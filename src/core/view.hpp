@@ -55,6 +55,18 @@ struct pshard {
   std::atomic<pshard*> next{nullptr};   ///< scan-order successor (see above)
   std::atomic<bool> closed{false};      ///< no pushes or splices can follow
 
+  /// Segments currently live in this shard's chain. Incremented by the
+  /// owning producer when it links a fresh segment, decremented by the
+  /// consumer as it recycles drained ones. The memory-budget throttle
+  /// (queue_cb::budget_wait) reads the producer's own count to apply the
+  /// structural exemption: a producer below the per-shard minimum may
+  /// always allocate, which is what keeps budget waits deadlock-free (the
+  /// consumer can reach and drain every shard ahead of it in scan order).
+  /// Relaxed is enough: only the owner increments, so a producer's read of
+  /// its own shard is never below the true count — staleness errs toward
+  /// throttling, and the wait loop re-reads.
+  std::atomic<std::uint32_t> live_segs{0};
+
   /// Recycling bookkeeping, mirroring qattach: shards come from the
   /// scheduler's per-worker attach pool and are freed by whichever worker
   /// retires them (the consumer, usually).

@@ -1,6 +1,100 @@
 #include "pipeline/builder.hpp"
 
+#include <chrono>
+
+#include "conc/backoff.hpp"
+#include "sched/scheduler.hpp"
+
 namespace hq::pipe {
+
+namespace detail {
+
+bool admission_ctl::admit() {
+  if (opts.policy == admission_policy::none) {
+    admitted.fetch_add(1, std::memory_order_relaxed);
+    return true;
+  }
+  if (in_flight() < opts.window) {
+    admitted.fetch_add(1, std::memory_order_relaxed);
+    return true;
+  }
+  if (opts.policy == admission_policy::shed ||
+      cancelled.load(std::memory_order_acquire)) {
+    shed.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+  if (wedged.load(std::memory_order_relaxed)) {
+    // A previous wait proved the sink cannot currently run; don't re-pay
+    // the patience wait per token. Re-arm enforcement once it completes
+    // something again.
+    if (completed.load(std::memory_order_acquire) ==
+        wedge_done.load(std::memory_order_relaxed)) {
+      admitted.fetch_add(1, std::memory_order_relaxed);
+      return true;
+    }
+    wedged.store(false, std::memory_order_relaxed);
+  }
+  // block / bounded_wait: park the source until the sink opens the window.
+  // Pause-only, never help-first: helping from the blocked source can nest
+  // the sink on this very stack, where it blocks forever on the source's
+  // open shard (the same producer-side hazard queue_cb::budget_wait
+  // documents). When sink completions stop arriving entirely — a schedule
+  // that cannot interleave the sink at all — the wait escapes by admitting
+  // over the window rather than wedging; a block window degrades to a soft
+  // one only where a hard one is impossible. cancel() and scheduler
+  // cancellation both unblock as a shed so failure teardown never hangs.
+  scheduler* sc = scheduler::current();
+  const auto t0 = std::chrono::steady_clock::now();
+  backoff bo;
+  std::uint64_t last_done = completed.load(std::memory_order_acquire);
+  std::uint32_t stalled_iters = 0;
+  constexpr std::uint32_t kPatience = 1024;
+  bool ok;
+  for (;;) {
+    if (in_flight() < opts.window) {
+      admitted.fetch_add(1, std::memory_order_relaxed);
+      ok = true;
+      break;
+    }
+    if (cancelled.load(std::memory_order_acquire) ||
+        (sc != nullptr && sc->cancelled())) {
+      shed.fetch_add(1, std::memory_order_relaxed);
+      ok = false;
+      break;
+    }
+    const auto waited = std::chrono::steady_clock::now() - t0;
+    if (opts.policy == admission_policy::bounded_wait &&
+        static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(waited)
+                .count()) >= opts.max_wait_ns) {
+      shed.fetch_add(1, std::memory_order_relaxed);
+      ok = false;
+      break;
+    }
+    const std::uint64_t done = completed.load(std::memory_order_acquire);
+    if (done != last_done) {
+      last_done = done;
+      stalled_iters = 0;
+      bo.reset();
+    } else if (bo.is_yielding() && ++stalled_iters > kPatience) {
+      wedge_done.store(done, std::memory_order_relaxed);
+      wedged.store(true, std::memory_order_relaxed);
+      admitted.fetch_add(1, std::memory_order_relaxed);
+      ok = true;
+      break;
+    }
+    bo.pause();
+  }
+  wait_ns.fetch_add(
+      static_cast<std::uint64_t>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(
+              std::chrono::steady_clock::now() - t0)
+              .count()),
+      std::memory_order_relaxed);
+  return ok;
+}
+
+}  // namespace detail
 
 const char* to_string(stage_kind k) noexcept {
   switch (k) {

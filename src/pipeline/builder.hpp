@@ -76,6 +76,32 @@ struct edge_opts {
   /// Relative element volume; feeds the placement partitioner's cut
   /// objective (sched/partition.hpp).
   double traffic = 1.0;
+  /// Memory budget of this edge's hyperqueue in bytes (0 = the
+  /// HQ_QUEUE_BUDGET environment default, itself unlimited when unset).
+  /// Producers that would grow the queue past the cap block cooperatively
+  /// until the consumer catches up — deterministic backpressure; see
+  /// hyperqueue<T>::set_memory_budget.
+  std::uint64_t memory_budget = 0;
+};
+
+/// How the pipeline boundary treats offered work once the in-flight window
+/// is full (tokens emitted by the source minus tokens retired by the sink).
+/// Generalizes the hand-rolled selective-sync throttle the bzip2 port used:
+///   none         — admit everything (the window is not enforced);
+///   block        — source waits (helping the scheduler) for sink progress:
+///                  lossless, output identical to the serial elision;
+///   shed         — over-window tokens are dropped at the source and
+///                  counted: lossy, bounded memory and bounded latency for
+///                  the admitted;
+///   bounded_wait — block up to max_wait_ns, then shed.
+enum class admission_policy { none, block, shed, bounded_wait };
+
+struct admission_opts {
+  admission_policy policy = admission_policy::none;
+  /// Max in-flight tokens (source emissions not yet retired by the sink).
+  std::size_t window = 1024;
+  /// bounded_wait only: wait this long for the window to open, then shed.
+  std::uint64_t max_wait_ns = 1000000;  // 1 ms
 };
 
 /// Thrown on pipeline misuse: type-mismatched edges, unattached stages,
@@ -101,6 +127,54 @@ class emit {
 };
 
 namespace detail {
+
+/// Runtime state of one run's admission window, shared by the source-side
+/// gate (admit) and the sink-side retire counter (complete). The runner
+/// owns one per execution and reads the counters into exec_result.
+struct admission_ctl {
+  explicit admission_ctl(admission_opts o) : opts(o) {}
+
+  admission_opts opts;
+  std::atomic<std::uint64_t> admitted{0};
+  std::atomic<std::uint64_t> shed{0};
+  std::atomic<std::uint64_t> completed{0};
+  std::atomic<std::uint64_t> wait_ns{0};
+  std::atomic<bool> cancelled{false};
+  /// Latched when a block-policy wait escaped because sink completions
+  /// stopped entirely (schedule cannot interleave the sink — see admit()).
+  /// While latched, window enforcement is suspended so each further token
+  /// does not re-pay the patience wait; cleared as soon as completions
+  /// advance again.
+  std::atomic<bool> wedged{false};
+  std::atomic<std::uint64_t> wedge_done{0};
+
+  /// Gate one offered token. True: admitted (counted). False: shed (counted)
+  /// — the caller must drop the token without emitting it. Blocks per the
+  /// policy, helping the scheduler when called from a worker, plain backoff
+  /// on external driver threads. cancel() unblocks every waiter (they shed).
+  bool admit();
+
+  /// Sink-side retirement: opens the window for the next waiter.
+  void complete() noexcept {
+    completed.fetch_add(1, std::memory_order_release);
+  }
+
+  /// Failure teardown: no more admissions, release blocked sources.
+  void cancel() noexcept {
+    cancelled.store(true, std::memory_order_release);
+  }
+
+  [[nodiscard]] std::uint64_t in_flight() const noexcept {
+    // `completed` is loaded first: each token's admit happens-before its
+    // complete, so observing N completions (acquire, paired with the
+    // release in complete()) implies observing >= N admissions. Clamped at
+    // zero anyway — expand stages retire more sink tokens than the source
+    // admitted, which would otherwise wrap the unsigned difference.
+    const std::uint64_t done = completed.load(std::memory_order_acquire);
+    const std::uint64_t adm = admitted.load(std::memory_order_relaxed);
+    return adm > done ? adm - done : 0;
+  }
+};
 
 /// Type-erased emission: `token` points at a value the callee may move
 /// from (value mode) or owns outright (heap mode), per the runner used.
@@ -138,7 +212,8 @@ class hq_chan_base {
 template <typename T>
 class hq_chan final : public hq_chan_base {
  public:
-  hq_chan(std::size_t seglen, int home_node) : q(seglen, home_node) {}
+  hq_chan(std::size_t seglen, int home_node, std::uint64_t budget_bytes)
+      : q(seglen, home_node, budget_bytes) {}
   [[nodiscard]] int node() const override { return q.home_node(); }
   [[nodiscard]] seg_pool_stats pool() const override { return q.pool_stats(); }
   [[nodiscard]] std::size_t segments() const override { return q.segments(); }
@@ -152,6 +227,11 @@ struct hq_knobs {
   std::size_t out_batch = 16;
   bool in_bulk = true;
   bool out_bulk = true;
+  /// Admission gate, set by the runner on the source stage only: every
+  /// emission passes admission_ctl::admit() and is dropped when it sheds.
+  admission_ctl* admit = nullptr;
+  /// Retire counter, set by the runner on the sink stage only.
+  admission_ctl* complete = nullptr;
 };
 
 /// Channel endpoints handed to a stage's hyperqueue lowering (null at the
@@ -167,8 +247,9 @@ struct hq_stage_ctx {
 template <typename Out>
 class hq_emitter {
  public:
-  hq_emitter(pushdep<Out>& out, std::size_t batch, bool bulk)
-      : out_(out), batch_(batch ? batch : 1), bulk_(bulk) {}
+  hq_emitter(pushdep<Out>& out, std::size_t batch, bool bulk,
+             admission_ctl* admit = nullptr)
+      : out_(out), batch_(batch ? batch : 1), bulk_(bulk), admit_(admit) {}
   hq_emitter(const hq_emitter&) = delete;
   hq_emitter& operator=(const hq_emitter&) = delete;
   ~hq_emitter() {
@@ -191,6 +272,9 @@ class hq_emitter {
   }
 
   void put(Out&& v) {
+    // Admission gate (source stage only): a shed token dies here, before it
+    // touches the queue — bounded memory is the point.
+    if (admit_ != nullptr && !admit_->admit()) return;
     if (!bulk_) {
       out_.push(std::move(v));
       return;
@@ -211,6 +295,7 @@ class hq_emitter {
   std::vector<Out> buf_;
   std::size_t batch_;
   bool bulk_;
+  admission_ctl* admit_;
 };
 
 // ---- hyperqueue stage tasks ------------------------------------------------
@@ -222,7 +307,7 @@ class hq_emitter {
 template <typename Out>
 void hq_source_task(std::function<void(emit<Out>)> body, hq_knobs k,
                     pushdep<Out> out) {
-  hq_emitter<Out> em(out, k.out_batch, k.out_bulk);
+  hq_emitter<Out> em(out, k.out_batch, k.out_bulk, k.admit);
   body(em.handle());
 }
 
@@ -283,13 +368,17 @@ void hq_sink_task(std::function<void(In&&)> body, hq_knobs k, popdep<In> in) {
     for (;;) {
       auto rs = in.get_read_slice(k.in_batch);
       if (rs.empty()) break;
-      for (auto& v : rs) body(std::move(v));
+      for (auto& v : rs) {
+        body(std::move(v));
+        if (k.complete != nullptr) k.complete->complete();
+      }
       rs.release();
     }
   } else {
     while (!in.empty()) {
       In v = in.pop();
       body(std::move(v));
+      if (k.complete != nullptr) k.complete->complete();
     }
   }
 }
@@ -318,7 +407,8 @@ struct stage_rec {
   /// Hyperqueue lowering: spawn this stage's task over the typed channels.
   std::function<void(const hq_stage_ctx&)> hq_spawn;
   /// Factory for this stage's *output* channel (typed on Out).
-  std::function<std::unique_ptr<hq_chan_base>(std::size_t seglen, int node)>
+  std::function<std::unique_ptr<hq_chan_base>(
+      std::size_t seglen, int node, std::uint64_t budget_bytes)>
       make_out_chan;
   /// Destroy an owned heap token of this stage's input / output type. The
   /// pthreads and TBB backends use these to drain in-flight tokens leak-free
@@ -511,9 +601,10 @@ class graph {
     s->out_type = typeid(Out);
     s->out_type_name = typeid(Out).name();
     s->destroy_out = [](void* p) { delete static_cast<Out*>(p); };
-    s->make_out_chan = [](std::size_t seglen,
-                          int node) -> std::unique_ptr<detail::hq_chan_base> {
-      return std::make_unique<detail::hq_chan<Out>>(seglen, node);
+    s->make_out_chan =
+        [](std::size_t seglen, int node,
+           std::uint64_t budget_bytes) -> std::unique_ptr<detail::hq_chan_base> {
+      return std::make_unique<detail::hq_chan<Out>>(seglen, node, budget_bytes);
     };
   }
 

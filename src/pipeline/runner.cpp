@@ -64,7 +64,7 @@ using detail::stage_rec;
 // the emitter's stack. No queues, no heap tokens — this is the elision whose
 // output order defines correctness for every parallel backend.
 
-exec_result run_serial_elision(graph& g) {
+exec_result run_serial_elision(graph& g, detail::admission_ctl* ctl = nullptr) {
   graph::plan p = g.compile();
   const std::size_t n = p.order.size();
   std::vector<std::function<void(void*)>> deliver(n);
@@ -78,6 +78,21 @@ exec_result run_serial_elision(graph& g) {
     }
     const stage_rec& s = g.stage_at(p.order[i]);
     deliver[i] = [&s, &next, i](void* tok) { s.run_value(tok, next[i]); };
+  }
+  if (ctl != nullptr) {
+    // Same boundary as the parallel backends: gate each source emission,
+    // retire at the sink. Tokens flow source->sink within one emit call
+    // here, so in_flight never exceeds one and the elision stays the
+    // lossless reference under any admission policy.
+    auto sink = std::move(deliver[n - 1]);
+    deliver[n - 1] = [sink, ctl](void* tok) {
+      sink(tok);
+      ctl->complete();
+    };
+    auto first = std::move(deliver[1]);
+    deliver[1] = [first, ctl](void* tok) {
+      if (ctl->admit()) first(tok);
+    };
   }
   exec_result res;
   util::stopwatch sw;
@@ -110,7 +125,8 @@ detail::hq_knobs knobs_for(const graph& g, const graph::plan& p,
 }
 
 exec_result run_hyperqueue_backend(graph& g, const exec_options& opt,
-                                   bool force_element) {
+                                   bool force_element,
+                                   detail::admission_ctl* ctl) {
   graph::plan p = g.compile();
   const std::size_t n = p.order.size();
 
@@ -142,14 +158,18 @@ exec_result run_hyperqueue_backend(graph& g, const exec_options& opt,
       std::size_t seglen = opts.segment_length
                                ? opts.segment_length
                                : 2 * (opts.slice_batch ? opts.slice_batch : 1);
-      chans.push_back(
-          g.stage_at(p.order[j]).make_out_chan(seglen, nodes[j]));
+      chans.push_back(g.stage_at(p.order[j])
+                          .make_out_chan(seglen, nodes[j], opts.memory_budget));
     }
     for (std::size_t i = 0; i < n; ++i) {
       detail::hq_stage_ctx ctx;
       ctx.in = i > 0 ? chans[i - 1].get() : nullptr;
       ctx.out = i + 1 < n ? chans[i].get() : nullptr;
       ctx.knobs = knobs_for(g, p, i, force_element);
+      // Admission boundary: gate at the source's emitter, retire at the
+      // sink's pop loop.
+      if (i == 0) ctx.knobs.admit = ctl;
+      if (i + 1 == n) ctx.knobs.complete = ctl;
       g.stage_at(p.order[i]).hq_spawn(ctx);
     }
     sync();
@@ -193,12 +213,16 @@ struct pth_fail {
   std::mutex mu;
   std::exception_ptr err;
   std::vector<bounded_queue<prec>*> queues;
+  detail::admission_ctl* ctl = nullptr;
 
   void fail(std::exception_ptr e) noexcept {
     {
       std::lock_guard<std::mutex> lk(mu);
       if (!err) err = std::move(e);
     }
+    // The source may be parked on a full admission window; the sink that
+    // would open it is tearing down. Cancel first so it sheds and exits.
+    if (ctl != nullptr) ctl->cancel();
     for (auto* q : queues) q->close();
   }
 
@@ -404,8 +428,12 @@ void pth_inorder_stage(const stage_rec& s, unsigned in_depth,
 }
 
 void pth_sink_stage(const stage_rec& s, unsigned in_depth,
-                    bounded_queue<prec>& in) {
+                    bounded_queue<prec>& in, detail::admission_ctl* ctl) {
   erased_emit none;
+  auto retire = [&](void* payload) {
+    s.run_heap(payload, none);
+    if (ctl != nullptr) ctl->complete();
+  };
   if (s.kind == stage_kind::serial_in_order) {
     reorderer ro(in_depth);
     auto drop_pending = [&] {
@@ -415,7 +443,7 @@ void pth_sink_stage(const stage_rec& s, unsigned in_depth,
       for (;;) {
         auto v = in.pop();
         if (!v) break;
-        ro.feed(*v, [&](void* payload) { s.run_heap(payload, none); });
+        ro.feed(*v, retire);
         if (ro.done()) break;
       }
     } catch (...) {
@@ -427,12 +455,13 @@ void pth_sink_stage(const stage_rec& s, unsigned in_depth,
     for (;;) {
       auto v = in.pop();
       if (!v) break;
-      if (!v->is_count) s.run_heap(v->payload, none);
+      if (!v->is_count) retire(v->payload);
     }
   }
 }
 
-exec_result run_pthreads_backend(graph& g, const exec_options& opt) {
+exec_result run_pthreads_backend(graph& g, const exec_options& opt,
+                                 detail::admission_ctl* ctl) {
   graph::plan p = g.compile();
   const std::size_t n = p.order.size();
   const unsigned workers = opt.workers ? opt.workers : 1;
@@ -444,6 +473,7 @@ exec_result run_pthreads_backend(graph& g, const exec_options& opt) {
         std::make_unique<bounded_queue<prec>>(g.edge_at(e).opts.capacity));
 
   pth_fail fl;
+  fl.ctl = ctl;
   fl.queues.reserve(qs.size());
   for (auto& q : qs) fl.queues.push_back(q.get());
 
@@ -455,9 +485,9 @@ exec_result run_pthreads_backend(graph& g, const exec_options& opt) {
     const unsigned in_depth = p.edge_depth[i - 1];
     auto* in = qs[i - 1].get();
     if (s.is_sink) {
-      stage_threads[i].emplace_back([&fl, &s, in_depth, in] {
+      stage_threads[i].emplace_back([&fl, &s, in_depth, in, ctl] {
         try {
-          pth_sink_stage(s, in_depth, *in);
+          pth_sink_stage(s, in_depth, *in, ctl);
         } catch (...) {
           fl.fail(std::current_exception());
         }
@@ -493,12 +523,19 @@ exec_result run_pthreads_backend(graph& g, const exec_options& opt) {
     struct src_ctx {
       bounded_queue<prec>* q;
       void (*destroy)(void*);
+      detail::admission_ctl* ctl;
       std::uint32_t seq = 0;
-    } c{qs[0].get(), src.destroy_out};
+    } c{qs[0].get(), src.destroy_out, ctl};
     erased_emit em;
     em.ctx = &c;
     em.fn = [](void* cp, void* tok) {
       auto* ctx = static_cast<src_ctx*>(cp);
+      if (ctx->ctl != nullptr && !ctx->ctl->admit()) {
+        // Shed before numbering: the stream stays dense, so downstream
+        // reorderers never wait on a sequence slot that will not arrive.
+        if (ctx->destroy) ctx->destroy(tok);
+        return;
+      }
       prec r;
       r.path[0] = ctx->seq++;
       r.depth = 1;
@@ -551,7 +588,8 @@ exec_result run_pthreads_backend(graph& g, const exec_options& opt) {
 // A feeder thread adapts the push-style source to the engine's pull-style
 // first filter through a bounded queue, preserving input/compute overlap.
 
-exec_result run_tbb_backend(graph& g, const exec_options& opt) {
+exec_result run_tbb_backend(graph& g, const exec_options& opt,
+                            detail::admission_ctl* ctl) {
   graph::plan p = g.compile();
   const std::size_t n = p.order.size();
   const unsigned workers = opt.workers ? opt.workers : 1;
@@ -575,11 +613,16 @@ exec_result run_tbb_backend(graph& g, const exec_options& opt) {
     struct fctx {
       bounded_queue<void*>* q;
       void (*destroy)(void*);
-    } c{&feed, src.destroy_out};
+      detail::admission_ctl* ctl;
+    } c{&feed, src.destroy_out, ctl};
     erased_emit em;
     em.ctx = &c;
     em.fn = [](void* cp, void* tok) {
       auto* ctx = static_cast<fctx*>(cp);
+      if (ctx->ctl != nullptr && !ctx->ctl->admit()) {
+        if (ctx->destroy) ctx->destroy(tok);
+        return;
+      }
       if (!ctx->q->push(tok)) {
         // Feed closed under us: the engine failed. Stop producing.
         if (ctx->destroy) ctx->destroy(tok);
@@ -644,13 +687,14 @@ exec_result run_tbb_backend(graph& g, const exec_options& opt) {
     const stage_rec& snk = g.stage_at(p.order[n - 1]);
     pl.add_filter(
         tbbpipe::filter_mode::serial_in_order,
-        [&snk](void* t) -> void* {
+        [&snk, ctl](void* t) -> void* {
           std::unique_ptr<toklist> list(static_cast<toklist*>(t));
           erased_emit none;
           std::size_t done = 0;
           try {
             for (void* v : *list) {
               snk.run_heap(v, none);
+              if (ctl != nullptr) ctl->complete();
               ++done;
             }
           } catch (...) {
@@ -674,7 +718,9 @@ exec_result run_tbb_backend(graph& g, const exec_options& opt) {
   }
   res.seconds = sw.seconds();
   // Unblock and retire the feeder (a failed engine stops pulling from the
-  // feed), then reclaim whatever it had buffered.
+  // feed), then reclaim whatever it had buffered. A feeder parked on a full
+  // admission window would never see the feed close — shed it out first.
+  if (run_err != nullptr && ctl != nullptr) ctl->cancel();
   feed.close();
   feeder.join();
   {
@@ -690,19 +736,36 @@ exec_result run_tbb_backend(graph& g, const exec_options& opt) {
 }  // namespace
 
 exec_result execute(graph& g, backend b, const exec_options& opt) {
-  switch (b) {
-    case backend::serial:
-      return run_serial_elision(g);
-    case backend::hyperqueue:
-      return run_hyperqueue_backend(g, opt, /*force_element=*/false);
-    case backend::hyperqueue_element:
-      return run_hyperqueue_backend(g, opt, /*force_element=*/true);
-    case backend::pthreads:
-      return run_pthreads_backend(g, opt);
-    case backend::tbb:
-      return run_tbb_backend(g, opt);
+  // One admission gate per run, shared by the source (admit) and the sink
+  // (complete) ends across every backend lowering.
+  std::unique_ptr<detail::admission_ctl> ctl;
+  if (opt.admission.policy != admission_policy::none)
+    ctl = std::make_unique<detail::admission_ctl>(opt.admission);
+
+  auto run = [&]() -> exec_result {
+    switch (b) {
+      case backend::serial:
+        return run_serial_elision(g, ctl.get());
+      case backend::hyperqueue:
+        return run_hyperqueue_backend(g, opt, /*force_element=*/false,
+                                      ctl.get());
+      case backend::hyperqueue_element:
+        return run_hyperqueue_backend(g, opt, /*force_element=*/true,
+                                      ctl.get());
+      case backend::pthreads:
+        return run_pthreads_backend(g, opt, ctl.get());
+      case backend::tbb:
+        return run_tbb_backend(g, opt, ctl.get());
+    }
+    throw std::logic_error("pipe::execute: unknown backend");
+  };
+  exec_result res = run();
+  if (ctl) {
+    res.admitted = ctl->admitted.load(std::memory_order_relaxed);
+    res.shed = ctl->shed.load(std::memory_order_relaxed);
+    res.admission_wait_ns = ctl->wait_ns.load(std::memory_order_relaxed);
   }
-  throw std::logic_error("pipe::execute: unknown backend");
+  return res;
 }
 
 // ---- app registry ----------------------------------------------------------

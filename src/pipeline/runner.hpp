@@ -54,6 +54,12 @@ struct exec_options {
   /// Hyperqueue backend: explicit placement; null = environment-driven
   /// (HQ_PLACEMENT / HQ_TOPOLOGY via the scheduler's default ctor).
   const scheduler::placement_config* placement = nullptr;
+  /// Admission control at the pipeline boundary (every backend): gate each
+  /// source emission against the in-flight window per the policy. The
+  /// window counts source emissions not yet retired by the sink, so it is
+  /// calibrated for ~1:1 pipelines; expand stages skew the accounting
+  /// (never below zero, but the effective window widens).
+  admission_opts admission;
 };
 
 /// How a run ended. `failed` covers stage exceptions (including injected
@@ -76,6 +82,14 @@ struct exec_result {
   /// Hyperqueue backend only: each edge queue's arena home node, in chain
   /// order (-1 = default heap; >= 0 under a placement policy).
   std::vector<int> queue_nodes;
+  /// Admission accounting (exec_options::admission; zero when the policy is
+  /// none): tokens admitted at the source, tokens shed, and the total time
+  /// sources spent blocked on a full window. Queue-level backpressure lives
+  /// in `pool` (throttle_waits / throttle_ns / budget_overruns and the byte
+  /// footprint fields).
+  std::uint64_t admitted = 0;
+  std::uint64_t shed = 0;
+  std::uint64_t admission_wait_ns = 0;
 };
 
 /// Run `g` on `b`. Throws graph_error if the description doesn't compile.

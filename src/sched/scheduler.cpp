@@ -484,7 +484,23 @@ scheduler::stats_t scheduler::stats() const {
     s.steal_attempts += w->counters.steal_attempts.load(std::memory_order_relaxed);
     s.helps += w->counters.helps.load(std::memory_order_relaxed);
   }
+  s.throttle_waits = throttle_waits_.load(std::memory_order_relaxed);
+  s.throttle_ns = throttle_ns_.load(std::memory_order_relaxed);
   return s;
+}
+
+void scheduler::throttle_begin(const void* queue) noexcept {
+  detail::worker_ctx* w = detail::t_worker;
+  if (w != nullptr && w->sched == this)
+    w->blocked_on_budget.store(queue, std::memory_order_relaxed);
+  throttle_waits_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void scheduler::throttle_end(std::uint64_t waited_ns) noexcept {
+  detail::worker_ctx* w = detail::t_worker;
+  if (w != nullptr && w->sched == this)
+    w->blocked_on_budget.store(nullptr, std::memory_order_relaxed);
+  throttle_ns_.fetch_add(waited_ns, std::memory_order_relaxed);
 }
 
 std::vector<scheduler::worker_stats_t> scheduler::per_worker_stats() const {
@@ -504,6 +520,7 @@ std::vector<scheduler::worker_stats_t> scheduler::per_worker_stats() const {
         w->counters.steal_attempts.load(std::memory_order_relaxed);
     s.helps = w->counters.helps.load(std::memory_order_relaxed);
     s.deque_depth = w->deque.size_estimate();
+    s.blocked_on_budget = w->blocked_on_budget.load(std::memory_order_relaxed);
     out.push_back(s);
   }
   return out;
@@ -522,6 +539,8 @@ void scheduler::reset_stats() {
     w->counters.steal_attempts.store(0, std::memory_order_relaxed);
     w->counters.helps.store(0, std::memory_order_relaxed);
   }
+  throttle_waits_.store(0, std::memory_order_relaxed);
+  throttle_ns_.store(0, std::memory_order_relaxed);
 }
 
 }  // namespace hq

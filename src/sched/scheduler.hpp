@@ -83,6 +83,13 @@ struct worker_ctx {
     std::atomic<std::uint64_t> steal_attempts{0};
     std::atomic<std::uint64_t> helps{0};
   } counters;
+
+  /// Backpressure marker: the hyperqueue this worker is currently throttled
+  /// on (core/queue_cb.cpp budget wait), null when not throttled. Written by
+  /// the owning worker, read by the watchdog's diagnostic dump so a worker
+  /// blocked on a memory budget reports `blocked_on: budget(queue)` instead
+  /// of looking like a stall.
+  std::atomic<const void*> blocked_on_budget{nullptr};
 };
 
 }  // namespace detail
@@ -144,6 +151,12 @@ class scheduler {
     std::uint64_t steals = 0;
     std::uint64_t steal_attempts = 0;
     std::uint64_t helps = 0;  // tasks executed inside a wait
+    /// Backpressure-throttle accounting (queue memory budgets): wait-loop
+    /// iterations and total blocked wall time across all workers. The
+    /// watchdog counts throttle_waits as progress — a producer parked on a
+    /// budget is waiting by design, not stalled.
+    std::uint64_t throttle_waits = 0;
+    std::uint64_t throttle_ns = 0;
   };
   [[nodiscard]] stats_t stats() const;
   void reset_stats();
@@ -165,6 +178,9 @@ class scheduler {
     std::uint64_t steal_attempts = 0;
     std::uint64_t helps = 0;
     std::size_t deque_depth = 0;  ///< ready frames on the worker's deque
+    /// Queue this worker is throttled on right now (memory-budget wait);
+    /// null when it is not. See worker_ctx::blocked_on_budget.
+    const void* blocked_on_budget = nullptr;
   };
   [[nodiscard]] std::vector<worker_stats_t> per_worker_stats() const;
 
@@ -208,6 +224,21 @@ class scheduler {
   }
   [[nodiscard]] int idle_workers() const noexcept {
     return num_idle_.load(std::memory_order_relaxed);
+  }
+
+  // ------------- backpressure-throttle accounting --------------------------
+  // Bracket a producer's cooperative memory-budget wait (core/queue_cb.cpp):
+  // begin marks the calling worker blocked on `queue` for the watchdog dump,
+  // tick counts one wait iteration as run progress (a throttled producer is
+  // waiting by design, not stalled), end clears the marker and accumulates
+  // the blocked wall time. Safe from non-worker threads (marker skipped).
+  void throttle_begin(const void* queue) noexcept;
+  void throttle_tick() noexcept {
+    throttle_waits_.fetch_add(1, std::memory_order_relaxed);
+  }
+  void throttle_end(std::uint64_t waited_ns) noexcept;
+  [[nodiscard]] std::uint64_t throttle_ns() const noexcept {
+    return throttle_ns_.load(std::memory_order_relaxed);
   }
 
   /// Home NUMA node of the calling worker thread (-1 on external threads or
@@ -345,6 +376,12 @@ class scheduler {
   std::mutex done_mu_;
   std::condition_variable done_cv_;
   bool root_done_ = false;
+
+  // Backpressure-throttle totals (see throttle_begin/tick/end). Shared
+  // lines, but only touched while a producer is already blocked — never on
+  // the push fast path.
+  std::atomic<std::uint64_t> throttle_waits_{0};
+  std::atomic<std::uint64_t> throttle_ns_{0};
 
   // Failure slot (first-failure-wins) + cancellation epoch, reset by
   // run_root after rethrowing so the scheduler is reusable.

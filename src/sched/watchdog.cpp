@@ -24,24 +24,36 @@ watchdog::~watchdog() {
 }
 
 std::uint64_t watchdog::progress() const {
+  // Throttle-wait iterations count as progress: a producer parked on a
+  // queue's memory budget is backpressure working as designed, not a stall.
+  // (Its wait loop ticks continuously, so a run where only throttled
+  // producers remain keeps the watchdog quiet; if the budget wait itself
+  // deadlocked — a runtime bug — the tick would stop and the watchdog still
+  // fires.)
   const auto st = sched_.stats();
-  return st.spawns + st.executed;
+  return st.spawns + st.executed + st.throttle_waits;
 }
 
 std::string watchdog::report(std::uint64_t last_progress) const {
+  const auto st = sched_.stats();
   std::ostringstream os;
   os << "watchdog: no scheduler progress for "
-     << opt_.interval.count() << " ms (spawns+executed stuck at "
+     << opt_.interval.count() << " ms (spawns+executed+throttle stuck at "
      << last_progress << ")\n";
   os << "  injector depth " << sched_.injector_depth() << ", parked workers "
      << sched_.idle_workers() << "/" << sched_.num_workers()
-     << ", cancelling=" << (sched_.cancelled() ? "yes" : "no") << "\n";
+     << ", cancelling=" << (sched_.cancelled() ? "yes" : "no")
+     << ", throttle waits " << st.throttle_waits << " ("
+     << st.throttle_ns / 1000000 << " ms total)\n";
   for (const auto& w : sched_.per_worker_stats()) {
     os << "  worker " << w.worker << ": cpu " << w.cpu << " node " << w.node
        << (w.pinned ? " pinned" : " unpinned") << ", deque depth "
        << w.deque_depth << ", spawns " << w.spawns << ", executed "
        << w.executed << ", steals " << w.steals << "/" << w.steal_attempts
-       << " attempts, helps " << w.helps << "\n";
+       << " attempts, helps " << w.helps;
+    if (w.blocked_on_budget != nullptr)
+      os << ", blocked_on: budget(queue@" << w.blocked_on_budget << ")";
+    os << "\n";
   }
   return os.str();
 }
